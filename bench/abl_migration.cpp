@@ -1,0 +1,105 @@
+// Ablation (§2.4): periodic re-evaluation and migration. After placing a
+// sequence of applications with a network-blind baseline, a single Choreo
+// re-evaluation pass should recover most of the gap to a Choreo-placed
+// cluster — and the adoption decision must respect the migration cost knob.
+
+#include "bench_common.h"
+#include "core/choreo.h"
+#include "place/baselines.h"
+#include "place/rate_model.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header("Ablation: re-evaluation & migration (Section 2.4)");
+
+  constexpr std::size_t kRuns = 20;
+  const workload::HpCloudTrace trace(99, paper_trace_config());
+  Rng rng(47);
+
+  std::size_t adopted = 0, improved = 0, done = 0, attempts = 0;
+  std::vector<double> est_gains;
+  std::size_t total_migrated = 0;
+  while (done < kRuns && attempts < kRuns * 10) {
+    ++attempts;
+    cloud::Cloud c(cloud::ec2_2013(), 7800 + attempts);
+    const auto vms = c.allocate_vms(10);
+
+    core::ChoreoConfig config;
+    config.use_measured_view = false;  // isolate migration logic from noise
+    config.migration_cost_per_task_s = 0.1;
+    core::Choreo choreo(c, vms, config);
+    choreo.measure_network(attempts);
+
+    // Two apps placed badly (round-robin), as if by a naive tenant.
+    place::RoundRobinPlacer rr;
+    const auto apps = trace.sample_batch(rng, 2);
+    double cores = 0.0;
+    for (const auto& a : apps) {
+      for (double cd : a.cpu_demand) cores += cd;
+    }
+    if (cores > 0.8 * 40.0) continue;
+    std::vector<core::Choreo::AppHandle> handles;
+    try {
+      for (const auto& a : apps) handles.push_back(choreo.place_application(a, rr));
+    } catch (const place::PlacementError&) {
+      continue;
+    }
+
+    // Estimated completion before re-evaluation.
+    double before = 0.0;
+    for (const auto h : handles) {
+      before += place::estimate_completion_s(choreo.running().at(h).app,
+                                             choreo.placement_of(h), choreo.view(),
+                                             place::RateModel::Hose);
+    }
+    const auto report = choreo.reevaluate(attempts + 1);
+    double after = 0.0;
+    for (const auto h : handles) {
+      after += place::estimate_completion_s(choreo.running().at(h).app,
+                                            choreo.placement_of(h), choreo.view(),
+                                            place::RateModel::Hose);
+    }
+    if (report.adopted) {
+      ++adopted;
+      total_migrated += report.tasks_migrated;
+    }
+    if (after < before * 0.999) ++improved;
+    est_gains.push_back((before - after) / std::max(before, 1e-9));
+    ++done;
+  }
+
+  Table t({"metric", "value"});
+  t.add_row({"runs", fmt(done, 0)});
+  t.add_row({"re-evaluations adopted", fmt(adopted, 0)});
+  t.add_row({"runs with improved estimate", fmt(improved, 0)});
+  t.add_row({"mean estimated completion gain", fmt_pct(mean(est_gains))});
+  t.add_row({"tasks migrated (total)", fmt(total_migrated, 0)});
+  std::cout << t.to_string();
+
+  check(adopted > done / 2, "re-evaluation of round-robin layouts is usually adopted");
+  check(improved >= adopted, "every adopted migration improves the estimate");
+  check(mean(est_gains) > 0.05, "re-evaluation recovers substantial completion time");
+
+  // Migration-cost knob: with prohibitive cost nothing is adopted.
+  cloud::Cloud c(cloud::ec2_2013(), 31337);
+  const auto vms = c.allocate_vms(10);
+  core::ChoreoConfig config;
+  config.use_measured_view = false;
+  config.migration_cost_per_task_s = 1e9;
+  core::Choreo choreo(c, vms, config);
+  choreo.measure_network(1);
+  place::RoundRobinPlacer rr;
+  const auto apps = trace.sample_batch(rng, 2);
+  try {
+    for (const auto& a : apps) choreo.place_application(a, rr);
+    const auto report = choreo.reevaluate(2);
+    check(!report.adopted, "prohibitive migration cost vetoes adoption");
+  } catch (const place::PlacementError&) {
+    check(true, "prohibitive migration cost vetoes adoption (placement skipped)");
+  }
+  return finish();
+}

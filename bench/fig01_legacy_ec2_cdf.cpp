@@ -1,0 +1,50 @@
+// Fig 1: TCP throughput on Amazon EC2 as of May 2012 — one CDF per
+// availability zone, showing wide spatial variability (roughly 100 Mbit/s to
+// 1 Gbit/s). Each "zone" is an independently seeded legacy-EC2 cloud; we
+// measure all ordered pairs of a 10-VM allocation with 10-second bulk
+// transfers, as the paper did with netperf.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+  using units::to_mbps;
+
+  header("Fig 1: EC2 May-2012 throughput CDF per availability zone");
+  std::cout << "zones: us-east-1{a,b,c,d} emulated as seeds 1..4\n";
+
+  std::vector<Cdf> zones;
+  for (std::uint64_t zone = 0; zone < 4; ++zone) {
+    cloud::Cloud c(cloud::ec2_2012(), 100 + zone);
+    const auto vms = c.allocate_vms(10);
+    Cdf cdf;
+    std::uint64_t epoch = 1;
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      for (std::size_t j = 0; j < vms.size(); ++j) {
+        if (i == j) continue;
+        cdf.add(to_mbps(c.netperf_bps(vms[i], vms[j], 10.0, epoch++)));
+      }
+    }
+    zones.push_back(std::move(cdf));
+  }
+
+  Table t({"fraction", "zone-a", "zone-b", "zone-c", "zone-d"});
+  for (double q : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 1.0}) {
+    t.add_row({fmt(q, 2), fmt(zones[0].quantile(q), 0), fmt(zones[1].quantile(q), 0),
+               fmt(zones[2].quantile(q), 0), fmt(zones[3].quantile(q), 0)});
+  }
+  std::cout << t.to_string();
+
+  // Paper: "path throughputs vary from as low as 100 Mbit/s to almost 1 Gbit/s".
+  bool wide = true, low_tail = true, high_head = true;
+  for (const Cdf& z : zones) {
+    wide = wide && (z.quantile(0.95) - z.quantile(0.05) > 300.0);
+    low_tail = low_tail && (z.quantile(0.10) < 500.0);
+    high_head = high_head && (z.quantile(0.95) > 750.0);
+  }
+  check(wide, "wide spatial spread (>300 Mbit/s between p5 and p95) in every zone");
+  check(low_tail, "slow tail: p10 below 500 Mbit/s");
+  check(high_head, "fast head: p95 above 750 Mbit/s (toward 1 Gbit/s)");
+  return finish();
+}

@@ -1,0 +1,75 @@
+// Fig 2: TCP throughput measured in May 2013 — (a) 1710 paths across 19
+// ten-instance EC2 topologies, (b) 360 paths across 4 ten-instance Rackspace
+// topologies. The paper's headline facts: EC2 ranges ~296-4405 Mbit/s but
+// ~80% of paths sit between 900 and 1100 Mbit/s (mean 957, median 929) with
+// 18 near-4G same-host paths; Rackspace is flat at ~300 Mbit/s.
+
+#include "bench_common.h"
+
+namespace {
+
+struct ProviderRun {
+  choreo::Cdf cdf;
+  std::size_t near_4g = 0;
+  std::size_t paths = 0;
+};
+
+ProviderRun measure(const choreo::cloud::ProviderProfile& profile, std::size_t topologies,
+                    std::uint64_t seed_base) {
+  using namespace choreo;
+  ProviderRun run;
+  for (std::size_t topo = 0; topo < topologies; ++topo) {
+    cloud::Cloud c(profile, seed_base + topo);
+    const auto vms = c.allocate_vms(10);
+    std::uint64_t epoch = 1;
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      for (std::size_t j = 0; j < vms.size(); ++j) {
+        if (i == j) continue;
+        const double mbit = units::to_mbps(c.netperf_bps(vms[i], vms[j], 10.0, epoch++));
+        run.cdf.add(mbit);
+        ++run.paths;
+        if (mbit > 2500.0) ++run.near_4g;
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header("Fig 2(a): EC2 May-2013 throughput CDF (19 topologies x 10 VMs = 1710 paths)");
+  const ProviderRun ec2 = measure(cloud::ec2_2013(), 19, 500);
+  print_cdf("throughput", ec2.cdf, "Mbit/s");
+
+  const double frac_900_1100 = ec2.cdf.fraction_between(900.0, 1100.0);
+  const double med = ec2.cdf.quantile(0.5);
+  std::cout << "paths: " << ec2.paths << ", median: " << fmt(med, 0)
+            << " Mbit/s, in [900,1100]: " << fmt_pct(frac_900_1100)
+            << ", near-4G paths: " << ec2.near_4g << "\n";
+
+  check(ec2.paths == 1710, "1710 EC2 paths measured");
+  check(frac_900_1100 > 0.6 && frac_900_1100 < 0.95,
+        "most paths (~80%) between 900 and 1100 Mbit/s");
+  check(med > 850 && med < 1000, "median near 929 Mbit/s");
+  check(ec2.cdf.min() < 500.0, "slow tail reaching down toward ~300 Mbit/s");
+  check(ec2.cdf.max() > 2500.0, "fast outliers beyond 2.5 Gbit/s exist");
+  check(ec2.near_4g >= 5 && ec2.near_4g <= 60,
+        "a handful of near-4G (same-host / unthrottled) paths, like the paper's 18");
+
+  header("Fig 2(b): Rackspace throughput CDF (4 topologies x 10 VMs = 360 paths)");
+  const ProviderRun rs = measure(cloud::rackspace(), 4, 900);
+  print_cdf("throughput", rs.cdf, "Mbit/s");
+  const double rs_p05 = rs.cdf.quantile(0.05);
+  const double rs_p95 = rs.cdf.quantile(0.95);
+  std::cout << "paths: " << rs.paths << ", p5: " << fmt(rs_p05, 1)
+            << ", p95: " << fmt(rs_p95, 1) << " Mbit/s\n";
+  check(rs.paths == 360, "360 Rackspace paths measured");
+  check(rs_p95 - rs_p05 < 30.0,
+        "almost no spatial variation (every fabric path ~300 Mbit/s)");
+  check(std::abs(rs.cdf.quantile(0.5) - 300.0) < 15.0, "median ~300 Mbit/s");
+  return finish();
+}

@@ -1,0 +1,86 @@
+// Fig 6: packet-train accuracy vs burst length and burst count, on EC2 and
+// Rackspace (P = 1472 bytes, delta = 1 ms), scored against 10-second netperf
+// ground truth. The paper's findings:
+//   * EC2 (shallow burst allowance): consistently low error across all
+//     configurations; 10 bursts x 200 packets ~ 9% error;
+//   * Rackspace (deep, credit-style allowance): large error until the burst
+//     length reaches ~2000 packets; 10 x 2000 ~ 4% error.
+
+#include "bench_common.h"
+#include "measure/calibration.h"
+
+namespace {
+
+std::vector<choreo::measure::CalibrationPoint> sweep(
+    const choreo::cloud::ProviderProfile& profile, std::uint64_t seed) {
+  using namespace choreo;
+  cloud::Cloud c(profile, seed);
+  const auto vms = c.allocate_vms(10);
+  measure::CalibrationConfig config;
+  config.burst_counts = {10, 20, 50};
+  config.burst_lengths = {50, 200, 500, 1000, 2000, 4000};
+  config.base.packet_bytes = 1472;
+  config.base.inter_burst_gap_s = 1e-3;
+  config.max_paths = 12;
+  config.netperf_duration_s = 10.0;
+  return measure::calibrate_trains(c, vms, config, 1);
+}
+
+void print_sweep(const std::vector<choreo::measure::CalibrationPoint>& points) {
+  using namespace choreo;
+  Table t({"bursts", "burst len", "mean err", "median err", "train time (s)"});
+  for (const auto& p : points) {
+    t.add_row({fmt(p.bursts, 0), fmt(p.burst_length, 0), fmt_pct(p.mean_rel_error),
+               fmt_pct(p.median_rel_error), fmt(p.train_duration_s, 2)});
+  }
+  std::cout << t.to_string();
+}
+
+double error_at(const std::vector<choreo::measure::CalibrationPoint>& points,
+                std::uint32_t bursts, std::uint32_t len) {
+  for (const auto& p : points) {
+    if (p.bursts == bursts && p.burst_length == len) return p.mean_rel_error;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header("Fig 6(a): packet-train error on EC2");
+  const auto ec2 = sweep(cloud::ec2_2013(), 1234);
+  print_sweep(ec2);
+  const double ec2_10x200 = error_at(ec2, 10, 200);
+  std::cout << "10 x 200 config: " << fmt_pct(ec2_10x200) << " (paper: ~9%)\n";
+  check(ec2_10x200 > 0.0 && ec2_10x200 < 0.18, "EC2: 10x200 trains within ~9-15% error");
+  double ec2_worst = 0.0;
+  for (const auto& p : ec2) ec2_worst = std::max(ec2_worst, p.mean_rel_error);
+  check(ec2_worst < 0.35, "EC2: consistently low error over ALL configurations");
+
+  header("Fig 6(b): packet-train error on Rackspace");
+  const auto rs = sweep(cloud::rackspace(), 4321);
+  print_sweep(rs);
+  const double rs_10x200 = error_at(rs, 10, 200);
+  const double rs_10x2000 = error_at(rs, 10, 2000);
+  std::cout << "10 x 200: " << fmt_pct(rs_10x200) << ", 10 x 2000: " << fmt_pct(rs_10x2000)
+            << " (paper: error collapses by 2000 packets, ~4%)\n";
+  check(rs_10x200 > 0.35, "Rackspace: short bursts badly overestimate (deep bucket)");
+  check(rs_10x2000 < 0.12, "Rackspace: 10x2000 bursts within ~4-10% error");
+  check(rs_10x200 > 3.0 * rs_10x2000,
+        "Rackspace: error improves dramatically once burst length reaches 2000");
+
+  // The calibration phase's recommendation should differ per provider, as
+  // §4.1 prescribes ("the best packet train parameters for EC2 and
+  // Rackspace differ").
+  packetsim::TrainParams base;
+  const auto rec_ec2 = measure::recommend_train(ec2, base, 0.15);
+  const auto rec_rs = measure::recommend_train(rs, base, 0.15);
+  std::cout << "recommended: EC2 " << rec_ec2.bursts << "x" << rec_ec2.burst_length
+            << ", Rackspace " << rec_rs.bursts << "x" << rec_rs.burst_length << "\n";
+  check(rec_rs.burst_length > rec_ec2.burst_length,
+        "calibration recommends longer bursts on Rackspace than on EC2");
+  return finish();
+}

@@ -1,0 +1,98 @@
+// Fig 8: path length (traceroute hop count) vs throughput over the 1710 EC2
+// paths of Fig 2(a). The paper's observations:
+//   * hop counts fall only in {1, 2, 4, 6, 8} (multi-rooted tree);
+//   * the highest-throughput pairs are 1 hop apart (same physical machine);
+//   * a "typical" ~1 Gbit/s throughput appears at ALL path lengths, i.e.
+//     path length and throughput are only weakly correlated;
+//   * a few high-throughput (>2.5 Gbit/s) paths exist even at 6-8 hops.
+
+#include <cmath>
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header("Fig 8: path length vs bandwidth (EC2, 19 x 10-VM topologies)");
+
+  std::map<std::size_t, std::vector<double>> by_hops;
+  std::vector<double> hops_series, rate_series;
+  for (std::size_t topo = 0; topo < 19; ++topo) {
+    cloud::Cloud c(cloud::ec2_2013(), 500 + topo);  // same fleet as fig02
+    const auto vms = c.allocate_vms(10);
+    std::uint64_t epoch = 1;
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      for (std::size_t j = 0; j < vms.size(); ++j) {
+        if (i == j) continue;
+        const std::size_t hops = c.traceroute_hops(vms[i], vms[j]);
+        const double mbit = units::to_mbps(c.netperf_bps(vms[i], vms[j], 10.0, epoch++));
+        by_hops[hops].push_back(mbit);
+        hops_series.push_back(static_cast<double>(hops));
+        rate_series.push_back(mbit);
+      }
+    }
+  }
+
+  Table t({"hops", "paths", "min (Mbit/s)", "median", "mean", "max"});
+  for (const auto& [hops, rates] : by_hops) {
+    const Summary s = summarize(rates);
+    t.add_row({fmt(hops, 0), fmt(s.count, 0), fmt(s.min, 0), fmt(s.median, 0),
+               fmt(s.mean, 0), fmt(s.max, 0)});
+  }
+  std::cout << t.to_string();
+
+  // Pearson correlation between hop count and throughput over *fabric*
+  // paths (2+ hops). Same-machine pairs are excluded: they are what makes
+  // "the highest throughput pairs one hop apart", but their ~4 Gbit/s rates
+  // would dominate a correlation meant to describe the fabric.
+  std::vector<double> fh, fr;
+  for (std::size_t k = 0; k < hops_series.size(); ++k) {
+    if (hops_series[k] >= 2.0) {
+      fh.push_back(hops_series[k]);
+      fr.push_back(rate_series[k]);
+    }
+  }
+  const double mh = mean(fh), mr = mean(fr);
+  double num = 0, dh = 0, dr = 0;
+  for (std::size_t k = 0; k < fh.size(); ++k) {
+    num += (fh[k] - mh) * (fr[k] - mr);
+    dh += (fh[k] - mh) * (fh[k] - mh);
+    dr += (fr[k] - mr) * (fr[k] - mr);
+  }
+  const double corr = num / std::sqrt(dh * dr);
+  std::cout << "pearson corr(hops, throughput) over fabric paths = " << fmt(corr, 3)
+            << "\n";
+
+  for (const auto& [hops, rates] : by_hops) {
+    check(hops == 1 || hops == 2 || hops == 4 || hops == 6 || hops == 8,
+          "hop count " + std::to_string(hops) + " is in {1,2,4,6,8}");
+  }
+  check(by_hops.count(6) && by_hops.count(8), "many paths cross pods/regions (6-8 hops)");
+  if (by_hops.count(1)) {
+    check(summarize(by_hops.at(1)).mean > 2500.0,
+          "1-hop (same-machine) pairs are the fastest on average");
+  }
+  // Typical ~1G at all fabric lengths.
+  bool typical_everywhere = true;
+  for (const auto& [hops, rates] : by_hops) {
+    if (hops == 1) continue;
+    std::size_t near_1g = 0;
+    for (double r : rates) {
+      if (r > 850.0 && r < 1200.0) ++near_1g;
+    }
+    typical_everywhere =
+        typical_everywhere && near_1g > rates.size() / 3;
+  }
+  check(typical_everywhere, "throughput near 1 Gbit/s appears at every fabric length");
+  check(std::abs(corr) < 0.35, "little correlation between path length and throughput");
+  // High-throughput long paths (the paper sees 4 beyond 2.5G at 6-8 hops).
+  std::size_t fast_long = 0;
+  for (std::size_t k = 0; k < hops_series.size(); ++k) {
+    if (hops_series[k] >= 6.0 && rate_series[k] > 2500.0) ++fast_long;
+  }
+  std::cout << "fast (>2.5G) paths at 6-8 hops: " << fast_long << "\n";
+  check(fast_long >= 1, "a few high-throughput paths exist even at 6-8 hops");
+  return finish();
+}

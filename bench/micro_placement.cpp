@@ -1,0 +1,154 @@
+// §5 microbenchmarks (google-benchmark): the greedy algorithm scales to
+// larger task counts and machine counts, while the Appendix ILP blows up —
+// the paper's reason for preferring the greedy ("this ILP occasionally took
+// a very long time to solve"). Also exercises the simplex and the fluid
+// simulator so performance regressions in the substrates are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "flowsim/sim.h"
+#include "lp/simplex.h"
+#include "net/topology.h"
+#include "packetsim/event_queue.h"
+#include "packetsim/sink.h"
+#include "packetsim/token_bucket.h"
+#include "packetsim/udp_train.h"
+#include "place/greedy.h"
+#include "place/ilp.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace choreo;
+
+place::ClusterView random_view(Rng& rng, std::size_t machines) {
+  place::ClusterView view;
+  view.rate_bps = DoubleMatrix(machines, machines, 0.0);
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (i != j) view.rate_bps(i, j) = rng.uniform(3e8, 1.1e9);
+    }
+  }
+  view.cross_traffic = DoubleMatrix(machines, machines, 0.0);
+  view.cores.assign(machines, 4.0);
+  view.colocation_group.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) view.colocation_group[m] = static_cast<int>(m);
+  return view;
+}
+
+place::Application random_app(Rng& rng, std::size_t tasks) {
+  workload::GeneratorConfig cfg;
+  cfg.min_tasks = tasks;
+  cfg.max_tasks = tasks;
+  cfg.max_cpu = 1.5;
+  return workload::generate_app(rng, cfg);
+}
+
+void BM_GreedyPlacement(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const auto tasks = static_cast<std::size_t>(state.range(1));
+  const place::ClusterView view = random_view(rng, machines);
+  const place::Application app = random_app(rng, tasks);
+  place::ClusterState cluster(view);
+  place::GreedyPlacer greedy(place::RateModel::Hose);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy.place(app, cluster));
+  }
+}
+BENCHMARK(BM_GreedyPlacement)
+    ->Args({10, 6})
+    ->Args({10, 10})
+    ->Args({20, 10})
+    ->Args({40, 10})
+    ->Args({40, 20});
+
+void BM_IlpPlacement(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const auto tasks = static_cast<std::size_t>(state.range(1));
+  const place::ClusterView view = random_view(rng, machines);
+  const place::Application app = random_app(rng, tasks);
+  place::ClusterState cluster(view);
+  lp::IlpOptions opts;
+  opts.max_nodes = 20000;
+  place::IlpPlacer ilp(place::RateModel::Hose, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp.place(app, cluster));
+  }
+}
+BENCHMARK(BM_IlpPlacement)->Args({3, 4})->Args({4, 4})->Args({4, 5})->Unit(benchmark::kMillisecond);
+
+void BM_BruteForcePlacement(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const auto tasks = static_cast<std::size_t>(state.range(1));
+  const place::ClusterView view = random_view(rng, machines);
+  const place::Application app = random_app(rng, tasks);
+  place::ClusterState cluster(view);
+  place::BruteForcePlacer brute(place::RateModel::Hose);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute.place(app, cluster));
+  }
+}
+BENCHMARK(BM_BruteForcePlacement)->Args({4, 5})->Args({5, 6})->Args({5, 7})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  Rng rng(7);
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  lp::Model model;
+  for (std::size_t i = 0; i < vars; ++i) model.add_variable(rng.uniform(-5, 5), 0.0, 10.0);
+  for (std::size_t r = 0; r < vars; ++r) {
+    std::vector<lp::Term> terms;
+    for (std::size_t i = 0; i < vars; ++i) terms.push_back({i, rng.uniform(0.0, 3.0)});
+    model.add_constraint(std::move(terms), lp::Sense::LessEq, rng.uniform(10.0, 50.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_lp(model));
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_FluidSimTenFlows(benchmark::State& state) {
+  net::TreeParams params;
+  params.pods = 2;
+  params.racks_per_pod = 2;
+  params.hosts_per_rack = 4;
+  const net::Topology topo = make_multi_rooted_tree(params);
+  const auto hosts = topo.nodes_of_kind(net::NodeKind::Host);
+  for (auto _ : state) {
+    flowsim::Sim sim(topo);
+    for (std::size_t f = 0; f < 10; ++f) {
+      flowsim::FlowSpec spec;
+      spec.src = hosts[f % hosts.size()];
+      spec.dst = hosts[(f + 5) % hosts.size()];
+      spec.bytes = 1e8;
+      spec.flow_key = f;
+      sim.add_flow(spec);
+    }
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(sim.makespan());
+  }
+}
+BENCHMARK(BM_FluidSimTenFlows)->Unit(benchmark::kMillisecond);
+
+void BM_PacketTrain(benchmark::State& state) {
+  const auto burst_len = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    packetsim::EventQueue events;
+    packetsim::RecordingSink sink;
+    packetsim::TokenBucket bucket(events, 950e6, 8e3, &sink);
+    packetsim::TrainParams params;
+    params.bursts = 10;
+    params.burst_length = burst_len;
+    params.line_rate_bps = 4e9;
+    packetsim::send_train(events, bucket, params, 1, 0.0);
+    events.run();
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_PacketTrain)->Arg(200)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

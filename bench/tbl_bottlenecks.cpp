@@ -1,0 +1,49 @@
+// §4.3: bottleneck location. "We ran an experiment on twenty pairs of
+// connections between four distinct VMs, and twenty pairs of connections
+// from the same source. We found that concurrent connections among four
+// unique endpoints never interfered with each other, while concurrent
+// connections from the same source always did." — i.e. the bottleneck is the
+// first hop, and the constant sum of same-source connections indicates a
+// hose model. We reproduce the experiment on both providers.
+
+#include "bench_common.h"
+#include "measure/bottleneck.h"
+
+namespace {
+
+void run_provider(const char* name, const choreo::cloud::ProviderProfile& profile,
+                  std::uint64_t seed) {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header(std::string("Bottleneck location on ") + name);
+  cloud::Cloud c(profile, seed);
+  const auto vms = c.allocate_vms(12);
+  const measure::BottleneckReport report =
+      measure::locate_bottlenecks(c, vms, /*probes_per_kind=*/20, /*duration_s=*/5.0,
+                                  /*seed=*/seed * 3 + 1, /*epoch=*/100);
+
+  Table t({"probe kind", "probes", "interfering"});
+  t.add_row({"same source (A->B, A->D)", fmt(report.same_source_probes, 0),
+             fmt(report.same_source_interfering, 0)});
+  t.add_row({"four distinct endpoints", fmt(report.disjoint_probes, 0),
+             fmt(report.disjoint_interfering, 0)});
+  std::cout << t.to_string();
+  std::cout << "sum(joint same-source)/solo = " << fmt(report.mean_same_source_sum_ratio, 3)
+            << " (1.0 = perfect hose)\n";
+
+  check(report.same_source_interfering == report.same_source_probes,
+        std::string(name) + ": same-source connections always interfere");
+  check(report.disjoint_interfering == 0,
+        std::string(name) + ": four-distinct-endpoint connections never interfere");
+  check(report.source_bottleneck, std::string(name) + ": bottleneck is the first hop");
+  check(report.hose_model, std::string(name) + ": hose-model rate limiting detected");
+}
+
+}  // namespace
+
+int main() {
+  run_provider("EC2", choreo::cloud::ec2_2013(), 11);
+  run_provider("Rackspace", choreo::cloud::rackspace(), 13);
+  return choreo::bench::finish();
+}

@@ -1,0 +1,61 @@
+// §3.1/§4.1 measurement-overhead accounting: packet trains vs netperf for a
+// ten-VM (90 ordered pairs) topology. Paper: an individual train takes under
+// a second (vs 10 s for a stable netperf reading); measuring all 90 pairs
+// takes "less than three minutes", including setup/collection overheads.
+
+#include "bench_common.h"
+#include "measure/packet_train.h"
+#include "measure/throughput_matrix.h"
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header("Measurement overhead: 10 VMs, 90 ordered pairs");
+
+  measure::MeasurementPlan ec2_plan;
+  ec2_plan.train.bursts = 10;
+  ec2_plan.train.burst_length = 200;
+  ec2_plan.train.line_rate_bps = 4e9;
+
+  measure::MeasurementPlan rs_plan = ec2_plan;
+  rs_plan.train.bursts = 10;
+  rs_plan.train.burst_length = 2000;
+  rs_plan.train.line_rate_bps = 1e9;
+
+  const double ec2_train = measure::train_duration_s(ec2_plan.train);
+  const double rs_train = measure::train_duration_s(rs_plan.train);
+  const double netperf_per_pair = 10.0;
+
+  const auto wall = [](const measure::MeasurementPlan& plan) {
+    return plan.setup_overhead_s +
+           9.0 * (measure::train_duration_s(plan.train) + plan.round_overhead_s);
+  };
+  const double ec2_wall = wall(ec2_plan);
+  const double rs_wall = wall(rs_plan);
+  // netperf cannot run two probes out of one VM either: 9 rounds of 10 s.
+  const double netperf_wall = ec2_plan.setup_overhead_s + 9.0 * (10.0 + ec2_plan.round_overhead_s);
+
+  Table t({"method", "per-probe (s)", "90-pair wall clock (s)"});
+  t.add_row({"packet train (EC2 10x200)", fmt(ec2_train, 3), fmt(ec2_wall, 1)});
+  t.add_row({"packet train (Rackspace 10x2000)", fmt(rs_train, 3), fmt(rs_wall, 1)});
+  t.add_row({"netperf 10 s", fmt(netperf_per_pair, 1), fmt(netperf_wall, 1)});
+  std::cout << t.to_string();
+
+  check(ec2_train < 1.0, "one EC2 train takes under a second (paper: <1 s)");
+  check(rs_train < 1.0, "one Rackspace train takes under a second");
+  check(ec2_wall < 180.0, "full 90-pair EC2 snapshot under three minutes");
+  check(rs_wall < 180.0, "full 90-pair Rackspace snapshot under three minutes");
+  check(netperf_wall > ec2_wall, "netperf-based snapshot is slower than trains");
+
+  // Cross-check the plan arithmetic against the orchestrator itself.
+  cloud::Cloud c(cloud::ec2_2013(), 5);
+  const auto vms = c.allocate_vms(10);
+  const measure::MatrixResult res = measure::measure_rate_matrix(c, vms, ec2_plan, 1);
+  std::cout << "orchestrator: " << res.pairs_measured << " pairs in " << res.rounds
+            << " rounds, modelled wall clock " << fmt(res.wall_time_s, 1) << " s\n";
+  check(res.pairs_measured == 90, "90 ordered pairs measured");
+  check(res.rounds == 9, "9 rounds (each VM sources one train per round)");
+  check(std::abs(res.wall_time_s - ec2_wall) < 1e-6, "wall-clock model matches plan");
+  return finish();
+}

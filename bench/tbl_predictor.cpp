@@ -1,0 +1,43 @@
+// §2.1 validation: "we found that data from the previous hour and the
+// time-of-day are good predictors of the number of bytes transferred in the
+// next hour" — scored on the synthetic three-week HP-Cloud trace.
+
+#include "bench_common.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  header("Predictability of next-hour bytes (3-week HP-Cloud-style trace)");
+
+  workload::TraceConfig cfg;
+  const workload::HpCloudTrace trace(2021, cfg);
+
+  std::vector<double> prev_mean, tod_mean, blend_mean;
+  std::size_t services = 0;
+  for (const workload::TraceApp& app : trace.apps()) {
+    if (app.hourly_bytes.size() < 24 * 7) continue;  // long-running services only
+    ++services;
+    prev_mean.push_back(workload::score_prev_hour(app.hourly_bytes).mean_rel_error);
+    tod_mean.push_back(workload::score_time_of_day(app.hourly_bytes).mean_rel_error);
+    blend_mean.push_back(workload::score_blend(app.hourly_bytes).mean_rel_error);
+  }
+
+  Table t({"predictor", "mean rel. error", "median over services", "p90"});
+  const auto row = [&](const char* name, std::vector<double> v) {
+    const Summary s = summarize(v);
+    t.add_row({name, fmt_pct(s.mean), fmt_pct(s.median), fmt_pct(s.p90)});
+  };
+  row("previous hour", prev_mean);
+  row("time of day", tod_mean);
+  row("blend (avg of both)", blend_mean);
+  std::cout << "long-running services scored: " << services << "\n" << t.to_string();
+
+  check(services >= 50, "enough long-running services in the trace");
+  check(summarize(prev_mean).median < 0.35, "previous hour is a good predictor");
+  check(summarize(tod_mean).median < 0.6, "time-of-day is a usable predictor");
+  check(summarize(blend_mean).median <= summarize(prev_mean).median + 0.02,
+        "blending time-of-day in does not hurt the previous-hour predictor");
+  return finish();
+}

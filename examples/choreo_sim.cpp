@@ -1,0 +1,153 @@
+// choreo_sim: the repository's experiment driver. Spin up an emulated
+// provider, rent VMs, measure, place a workload with any algorithm, execute
+// it, and print the outcome — everything the fig10 benches do, but
+// parameterized from the command line so new scenarios need no recompile.
+//
+//   choreo_sim --provider ec2 --vms 10 --apps 2 --algorithm greedy --seed 7
+//   choreo_sim --mode sequence --apps 4 --algorithm round-robin
+//   choreo_sim --help
+
+#include <iostream>
+#include <memory>
+
+#include "core/controller.h"
+#include "measure/throughput_matrix.h"
+#include "place/baselines.h"
+#include "place/greedy.h"
+#include "place/ilp.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace choreo;
+
+std::unique_ptr<place::Placer> make_placer(const std::string& name,
+                                           place::RateModel model, std::uint64_t seed) {
+  if (name == "greedy") return std::make_unique<place::GreedyPlacer>(model);
+  if (name == "random") return std::make_unique<place::RandomPlacer>(seed);
+  if (name == "round-robin") return std::make_unique<place::RoundRobinPlacer>();
+  if (name == "min-machines") return std::make_unique<place::MinMachinesPlacer>();
+  if (name == "ilp") return std::make_unique<place::IlpPlacer>(model);
+  throw PreconditionError("unknown algorithm: " + name +
+                          " (greedy|random|round-robin|min-machines|ilp)");
+}
+
+cloud::ProviderProfile make_profile(const std::string& name) {
+  if (name == "ec2") return cloud::ec2_2013();
+  if (name == "ec2-2012") return cloud::ec2_2012();
+  if (name == "rackspace") return cloud::rackspace();
+  throw PreconditionError("unknown provider: " + name + " (ec2|ec2-2012|rackspace)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace choreo;
+
+  Args args;
+  args.add_option("provider", "ec2", "cloud model: ec2 | ec2-2012 | rackspace");
+  args.add_option("vms", "10", "VMs to rent");
+  args.add_option("apps", "2", "applications to place");
+  args.add_option("mode", "batch", "batch (combine & place at once) | sequence");
+  args.add_option("algorithm", "greedy",
+                  "greedy | random | round-robin | min-machines | ilp");
+  args.add_option("rate-model", "hose", "hose | pipe (for greedy/ilp)");
+  args.add_option("seed", "1", "experiment seed");
+  args.add_option("mean-gap", "60", "sequence mode: mean inter-arrival gap (s)");
+  args.add_flag("truth", "place on ground-truth rates instead of packet trains");
+  args.add_flag("help", "show this help");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << args.usage("choreo_sim");
+    return 2;
+  }
+  if (args.get_flag("help")) {
+    std::cout << args.usage("choreo_sim");
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto n_vms = static_cast<std::size_t>(args.get_int("vms"));
+  const auto n_apps = static_cast<std::size_t>(args.get_int("apps"));
+  const place::RateModel model =
+      args.get("rate-model") == "pipe" ? place::RateModel::Pipe : place::RateModel::Hose;
+
+  cloud::Cloud cloud(make_profile(args.get("provider")), seed);
+  const auto vms = cloud.allocate_vms(n_vms);
+  std::cout << "provider " << cloud.profile().name << ", " << n_vms << " VMs, seed "
+            << seed << "\n";
+
+  // Workload from the synthetic HP-Cloud trace.
+  const workload::HpCloudTrace trace(seed * 7 + 5, workload::TraceConfig{});
+  Rng rng(seed * 11 + 3);
+
+  // Measurement (or ground truth with --truth).
+  measure::MeasurementPlan plan;
+  plan.train.bursts = 10;
+  plan.train.burst_length = args.get("provider") == "rackspace" ? 2000 : 200;
+  const place::ClusterView view =
+      args.get_flag("truth") ? measure::true_cluster_view(cloud, vms, seed)
+                             : measure::measured_cluster_view(cloud, vms, plan, seed);
+
+  const auto placer = make_placer(args.get("algorithm"), model, seed);
+
+  if (args.get("mode") == "batch") {
+    const place::Application combined = place::combine(trace.sample_batch(rng, n_apps));
+    place::ClusterState state(view);
+    const place::Placement placement = placer->place(combined, state);
+
+    Table t({"task", "machine", "cpu"});
+    for (std::size_t i = 0; i < combined.task_count(); ++i) {
+      t.add_row({std::to_string(i), std::to_string(placement.machine_of_task[i]),
+                 fmt(combined.cpu_demand[i], 1)});
+    }
+    std::cout << t.to_string();
+
+    std::vector<cloud::Cloud::Transfer> transfers;
+    for (std::size_t i = 0; i < combined.task_count(); ++i) {
+      for (std::size_t j = 0; j < combined.task_count(); ++j) {
+        const double b = combined.traffic_bytes(i, j);
+        if (b <= 0.0) continue;
+        transfers.push_back({vms[placement.machine_of_task[i]],
+                             vms[placement.machine_of_task[j]], b, 0.0});
+      }
+    }
+    const double est = place::estimate_completion_s(combined, placement, view, model);
+    std::cout << "estimated completion: " << fmt(est, 2) << " s\n";
+    if (!transfers.empty()) {
+      const auto result = cloud.execute(transfers, seed + 1);
+      std::cout << "executed completion:  " << fmt(result.makespan_s, 2) << " s ("
+                << transfers.size() << " transfers)\n";
+    }
+    return 0;
+  }
+
+  if (args.get("mode") == "sequence") {
+    auto apps = trace.sample_sequence(rng, n_apps, args.get_double("mean-gap"));
+    core::ControllerConfig config;
+    config.choreo.plan = plan;
+    config.choreo.rate_model = model;
+    config.choreo.use_measured_view = !args.get_flag("truth");
+    core::Controller controller(cloud, vms, config);
+    const core::SessionLog log = controller.run(apps);
+
+    Table t({"t (s)", "event", "detail"});
+    for (const core::SessionEvent& e : log.events) {
+      t.add_row({fmt(e.time_s, 0), e.kind, e.detail});
+    }
+    std::cout << t.to_string();
+    std::cout << "total runtime (sum over apps): " << fmt(log.total_runtime_s, 1)
+              << " s; re-evaluations: " << log.reevaluations << " ("
+              << log.reevaluations_adopted << " adopted, " << log.tasks_migrated
+              << " tasks migrated)\n";
+    return 0;
+  }
+
+  std::cerr << "unknown --mode " << args.get("mode") << "\n" << args.usage("choreo_sim");
+  return 2;
+}

@@ -1,0 +1,109 @@
+// Online scenario (§2.4, §6.3): applications arrive over time. Choreo
+// re-measures before each placement, accounts for the transfers of
+// applications still running, periodically re-evaluates the whole layout,
+// and migrates when the estimated gain beats the migration cost.
+
+#include <iostream>
+
+#include "core/choreo.h"
+#include "place/rate_model.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace choreo;
+
+  cloud::Cloud cloud(cloud::ec2_2013(), 61);
+  const auto vms = cloud.allocate_vms(10);
+
+  core::ChoreoConfig config;
+  config.plan.train.bursts = 10;
+  config.plan.train.burst_length = 200;
+  config.rate_model = place::RateModel::Hose;
+  config.reevaluate_period_s = 300.0;       // T = 5 minutes
+  config.migration_cost_per_task_s = 5.0;   // cheap-ish migration
+  core::Choreo choreo(cloud, vms, config);
+
+  const double wall = choreo.measure_network(1);
+  std::cout << "initial measurement phase: " << fmt(wall, 0) << " s wall clock\n\n";
+
+  // Applications arrive from the trace.
+  const workload::HpCloudTrace trace(4, workload::TraceConfig{});
+  Rng rng(9);
+  const auto apps = trace.sample_sequence(rng, 4, /*mean_gap_s=*/60.0);
+
+  Table t({"t (s)", "event", "detail"});
+  std::vector<core::Choreo::AppHandle> handles;
+  std::vector<place::Placement> final_placements(apps.size());
+  std::vector<double> est_finish;
+  std::uint64_t epoch = 2;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const place::Application& app = apps[a];
+    // Applications whose estimated completion predates this arrival have
+    // finished: release their VMs (the tenant tears the tasks down).
+    for (std::size_t prev = 0; prev < handles.size(); ++prev) {
+      if (handles[prev] != 0 && est_finish[prev] <= app.arrival_s) {
+        final_placements[prev] = choreo.placement_of(handles[prev]);
+        choreo.remove_application(handles[prev]);
+        handles[prev] = 0;
+        t.add_row({fmt(est_finish[prev], 0), "departure: " + apps[prev].name,
+                   "resources released"});
+      }
+    }
+    // Re-measure on each arrival (the network may have shifted).
+    choreo.measure_network(epoch++);
+    const auto handle = choreo.place_application(app);
+    handles.push_back(handle);
+    const place::Placement& p = choreo.placement_of(handle);
+    est_finish.push_back(app.arrival_s +
+                         place::estimate_completion_s(app, p, choreo.view(),
+                                                      config.rate_model));
+    std::string where;
+    for (std::size_t i = 0; i < p.machine_of_task.size(); ++i) {
+      where += (i ? "," : "") + std::to_string(p.machine_of_task[i]);
+    }
+    t.add_row({fmt(app.arrival_s, 0), "arrival: " + app.name + " (" +
+                                          std::to_string(app.task_count()) + " tasks)",
+               "placed on [" + where + "]"});
+  }
+
+  // Periodic re-evaluation (§2.4): "every T minutes, Choreo re-evaluates its
+  // placement of the existing applications, and migrates tasks if necessary".
+  const auto report = choreo.reevaluate(epoch++);
+  t.add_row({fmt(config.reevaluate_period_s, 0), "re-evaluation",
+             report.adopted
+                 ? "migrated " + std::to_string(report.tasks_migrated) + " tasks, est. gain " +
+                       fmt(report.estimated_gain_s, 1) + " s vs cost " +
+                       fmt(report.migration_cost_s, 1) + " s"
+                 : "kept current placement (gain " + fmt(report.estimated_gain_s, 1) +
+                       " s <= cost " + fmt(report.migration_cost_s, 1) + " s)"});
+  std::cout << t.to_string() << "\n";
+
+  // Execute everything with arrival offsets and report per-app runtimes.
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    if (handles[a] != 0) final_placements[a] = choreo.placement_of(handles[a]);
+  }
+  std::vector<cloud::Cloud::Transfer> transfers;
+  std::vector<std::pair<std::size_t, std::size_t>> owner;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto batch =
+        choreo.transfers_for(apps[a], final_placements[a], apps[a].arrival_s);
+    for (const auto& tr : batch) {
+      transfers.push_back(tr);
+      owner.emplace_back(a, transfers.size() - 1);
+    }
+  }
+  const auto result = cloud.execute(transfers, epoch);
+  std::vector<double> finish(apps.size(), 0.0);
+  for (const auto& [a, idx] : owner) {
+    finish[a] = std::max(finish[a], result.completion_s[idx]);
+  }
+  Table rt({"app", "arrival (s)", "finish (s)", "runtime (s)"});
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    rt.add_row({apps[a].name, fmt(apps[a].arrival_s, 0), fmt(finish[a], 1),
+                fmt(finish[a] - apps[a].arrival_s, 1)});
+  }
+  std::cout << rt.to_string();
+  return 0;
+}

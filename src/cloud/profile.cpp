@@ -1,0 +1,132 @@
+#include "cloud/profile.h"
+
+#include "util/units.h"
+
+namespace choreo::cloud {
+
+using units::gbps;
+using units::mbps;
+
+ProviderProfile ec2_2013() {
+  ProviderProfile p;
+  p.name = "ec2-2013";
+
+  p.tree.regions = 2;
+  p.tree.super_cores = 2;
+  p.tree.super_link_bps = gbps(40);
+  p.tree.region.pods = 3;
+  p.tree.region.racks_per_pod = 4;
+  p.tree.region.hosts_per_rack = 10;
+  p.tree.region.aggs_per_pod = 2;
+  p.tree.region.cores = 2;
+  p.tree.region.host_link_bps = gbps(10);
+  p.tree.region.agg_link_bps = gbps(10);
+  p.tree.region.core_link_bps = gbps(10);
+  p.tree.region.link_delay_s = 20e-6;
+
+  // Fig 2(a): knees near 950 and 1100 Mbit/s, ~20% slow band, a whisker of
+  // unthrottled instances reaching multi-Gbit/s at any hop distance (Fig 8).
+  p.hose_clusters = {
+      HoseCluster{0.50, mbps(935), mbps(18)},
+      HoseCluster{0.31, mbps(1095), mbps(25)},
+      HoseCluster{0.01, mbps(3100), mbps(400)},
+  };
+  p.slow_band_weight = 0.186;
+  p.slow_lo_bps = mbps(310);
+  p.slow_hi_bps = mbps(900);
+
+  p.bucket_depth_bytes = 8e3;     // shallow: trains see the token rate fast
+  p.bucket_idle_reset_s = 0.5e-3;
+  p.vnic_rate_bps = gbps(4);
+  p.vswitch_rate_bps = gbps(4.3);
+
+  p.colocate_prob = 0.05;
+  p.cores_per_machine = 4;
+
+  p.bg_flow_count = 36;
+  p.bg_rate_cap_bps = mbps(400);
+  p.bg_mean_on_s = 60.0;
+  p.bg_mean_off_s = 90.0;
+  p.bg_core_bias = 0.5;
+
+  p.train_rate_jitter_frac = 0.085;
+  p.netperf_noise_frac = 0.004;
+  p.timestamp_jitter_s = 10e-6;
+  p.traceroute_hides_tiers = false;
+  return p;
+}
+
+ProviderProfile ec2_2012() {
+  ProviderProfile p = ec2_2013();
+  p.name = "ec2-2012";
+  // Fig 1: per-zone spatial spread from ~100 Mbit/s to ~1 Gbit/s with no
+  // sharp knees — modelled as one broad band plus a fast shoulder.
+  p.hose_clusters = {
+      HoseCluster{0.35, mbps(850), mbps(120)},
+  };
+  p.slow_band_weight = 0.65;
+  p.slow_lo_bps = mbps(100);
+  p.slow_hi_bps = mbps(950);
+  // Fig 1 shows no multi-gigabit outliers: 2012-era instances shared 1G
+  // hosts, so even co-located pairs topped out near line rate.
+  p.vswitch_rate_bps = mbps(1150);
+  p.colocate_prob = 0.02;
+  p.bg_flow_count = 60;
+  p.bg_rate_cap_bps = mbps(600);
+  p.train_rate_jitter_frac = 0.15;
+  p.netperf_noise_frac = 0.01;
+  return p;
+}
+
+ProviderProfile rackspace() {
+  ProviderProfile p;
+  p.name = "rackspace";
+
+  // Rackspace's topology is opaque (traceroute shows hop counts of only 1 or
+  // 4, §4.2); a single-region tree is adequate since all fabric paths are
+  // far from saturated at 300 Mbit/s hoses.
+  p.tree.regions = 1;
+  p.tree.super_cores = 1;
+  p.tree.region.pods = 2;
+  p.tree.region.racks_per_pod = 4;
+  p.tree.region.hosts_per_rack = 10;
+  p.tree.region.aggs_per_pod = 2;
+  p.tree.region.cores = 2;
+  p.tree.region.host_link_bps = gbps(10);
+  p.tree.region.agg_link_bps = gbps(10);
+  p.tree.region.core_link_bps = gbps(10);
+  p.tree.region.link_delay_s = 20e-6;
+
+  // Fig 2(b): "every path has a throughput of almost exactly 300 Mbit/s".
+  p.hose_clusters = {HoseCluster{1.0, mbps(300), mbps(1.5)}};
+  p.slow_band_weight = 0.0;
+
+  // Deep, idle-resetting burst allowance — a credit-scheduler-style limiter
+  // that grants a multi-megabyte quantum at line rate before throttling. A
+  // burst overruns the quantum only when its bytes exceed depth*L/(L-R)
+  // (the bucket refills while the burst is still being emitted at line rate
+  // L=1G): with a 1.7 MB depth that critical size is ~1600 packets, so
+  // trains up to 1000-packet bursts report the line rate while 2000-packet
+  // bursts collapse onto the enforced 300 Mbit/s — Fig 6(b)'s sharp knee.
+  p.bucket_depth_bytes = 1.7e6;
+  p.bucket_idle_reset_s = 0.5e-3;
+  p.vnic_rate_bps = gbps(1);
+  p.vswitch_rate_bps = gbps(4);
+
+  p.colocate_prob = 0.04;
+  p.cores_per_machine = 4;
+
+  p.bg_flow_count = 12;
+  p.bg_rate_cap_bps = mbps(300);
+  p.bg_mean_on_s = 60.0;
+  p.bg_mean_off_s = 120.0;
+  p.bg_core_bias = 0.3;
+
+  p.train_rate_jitter_frac = 0.03;
+  p.netperf_noise_frac = 0.0015;
+  p.timestamp_jitter_s = 10e-6;
+  p.traceroute_hides_tiers = true;
+  return p;
+}
+
+}  // namespace choreo::cloud

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace choreo::cloud {
+
+/// One cluster of the per-VM hose-rate distribution (a mixture component).
+struct HoseCluster {
+  double weight = 1.0;
+  double mean_bps = 1e9;
+  double stddev_bps = 0.0;
+};
+
+/// Everything that distinguishes one emulated provider from another.
+///
+/// The default-constructed profile is deliberately unusable; start from one
+/// of the factories below (`ec2_2013`, `ec2_2012`, `rackspace`) and tweak.
+/// DESIGN.md §2 documents how each knob maps to a behaviour the paper
+/// measured on the real providers.
+struct ProviderProfile {
+  std::string name;
+
+  // ---- fabric ----
+  net::RegionalTreeParams tree;
+
+  // ---- per-VM egress rate limiting (the "hose", §4.3) ----
+  /// Mixture from which each VM's hose rate is drawn. EC2-2013 uses two
+  /// narrow clusters (the Fig 2(a) knees at ~950 and ~1100 Mbit/s), a slow
+  /// band and a tiny unthrottled cluster; Rackspace is a single spike at
+  /// 300 Mbit/s; EC2-2012 is a wide band (Fig 1).
+  std::vector<HoseCluster> hose_clusters;
+  /// Extra mixture component drawn uniformly in [slow_lo, slow_hi]; weight 0
+  /// disables it.
+  double slow_band_weight = 0.0;
+  double slow_lo_bps = 0.0;
+  double slow_hi_bps = 0.0;
+
+  // ---- shaper (token-bucket enforcement of the hose) ----
+  /// Burst allowance. Shallow (EC2) means short packet trains already see
+  /// the token rate; deep with idle-reset (Rackspace) means bursts below the
+  /// depth pass at line rate — the mechanism behind Fig 6(b).
+  double bucket_depth_bytes = 8e3;
+  /// Credit-style limiters restore full burst allowance after this much
+  /// idle time; negative disables the reset.
+  double bucket_idle_reset_s = -1.0;
+  /// VM virtual-NIC line rate (emission rate into the shaper).
+  double vnic_rate_bps = 4e9;
+  /// Capacity shared by VM pairs co-located on one host (no hose crossing);
+  /// this is what makes same-host paths show ~4 Gbit/s on EC2.
+  double vswitch_rate_bps = 4.3e9;
+
+  // ---- VM allocation ----
+  /// Probability that a newly allocated VM is packed onto a host that
+  /// already carries one of the tenant's VMs (gives the ~1% same-host pairs
+  /// the paper sees).
+  double colocate_prob = 0.05;
+  int cores_per_machine = 4;
+
+  // ---- background (other tenants) ----
+  std::size_t bg_flow_count = 0;
+  double bg_rate_cap_bps = 400e6;   ///< per background flow
+  double bg_mean_on_s = 60.0;
+  double bg_mean_off_s = 60.0;
+  /// Fraction of background flows that are pinned to cross the first core
+  /// link, concentrating load there (creates the mild long-path derating of
+  /// Fig 8 and the temporal-error tail of Fig 7(a)).
+  double bg_core_bias = 0.5;
+
+  // ---- measurement artefacts ----
+  /// Short-timescale virtualization noise: the effective token rate a single
+  /// packet train observes is hose * (1 + N(0, sigma)).
+  double train_rate_jitter_frac = 0.08;
+  /// Multiplicative noise on each netperf-style reading.
+  double netperf_noise_frac = 0.004;
+  /// Kernel timestamping jitter at the receiver (SO_TIMESTAMPNS).
+  double timestamp_jitter_s = 10e-6;
+  /// Rackspace's traceroute hides its switch tiers: hop counts come back as
+  /// 1 (same host) or 4 (anything else) — §4.2.
+  bool traceroute_hides_tiers = false;
+};
+
+/// Amazon EC2 as measured in May 2013 (Fig 2(a), Fig 6(a), Fig 7(a), Fig 8).
+ProviderProfile ec2_2013();
+
+/// Amazon EC2 as measured in May 2012 (Fig 1): wide spatial variability.
+ProviderProfile ec2_2012();
+
+/// Rackspace 8-GByte instances (Fig 2(b), Fig 6(b), Fig 7(b)): flat
+/// 300 Mbit/s hose, deep burst allowance, opaque traceroute.
+ProviderProfile rackspace();
+
+}  // namespace choreo::cloud

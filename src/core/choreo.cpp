@@ -1,0 +1,170 @@
+#include "core/choreo.h"
+
+#include <algorithm>
+
+#include "measure/packet_train.h"
+#include "place/rate_model.h"
+#include "util/require.h"
+
+namespace choreo::core {
+
+Choreo::Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig config)
+    : cloud_(cloud), vms_(std::move(vms)), config_(std::move(config)), greedy_(config_.rate_model) {
+  CHOREO_REQUIRE(vms_.size() >= 2);
+}
+
+double Choreo::measure_network(std::uint64_t epoch) {
+  place::ClusterView view;
+  double wall = 0.0;
+  if (config_.use_measured_view) {
+    view = measure::measured_cluster_view(cloud_, vms_, config_.plan, epoch);
+    // Recompute the wall time the same way the view's measurement did.
+    wall = config_.plan.setup_overhead_s +
+           static_cast<double>(vms_.size() - 1) *
+               (measure::train_duration_s(config_.plan.train) + config_.plan.round_overhead_s);
+  } else {
+    view = measure::true_cluster_view(cloud_, vms_, epoch);
+  }
+
+  // Preserve existing commitments: rebuild state and replay running apps.
+  auto fresh = std::make_unique<place::ClusterState>(std::move(view));
+  for (const auto& [handle, entry] : running_) {
+    fresh->commit(entry.app, entry.placement);
+  }
+  state_ = std::move(fresh);
+  measured_ = true;
+  return wall;
+}
+
+const place::ClusterView& Choreo::view() const {
+  CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  return state_->view();
+}
+
+const place::ClusterState& Choreo::state() const {
+  CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  return *state_;
+}
+
+Choreo::AppHandle Choreo::place_application(const place::Application& app) {
+  return place_application(app, greedy_);
+}
+
+Choreo::AppHandle Choreo::place_application(const place::Application& app,
+                                            place::Placer& placer) {
+  CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  const place::Placement placement = placer.place(app, *state_);
+  state_->commit(app, placement);
+  const AppHandle handle = next_handle_++;
+  running_.emplace(handle, RunningApp{app, placement});
+  return handle;
+}
+
+void Choreo::remove_application(AppHandle handle) {
+  const auto it = running_.find(handle);
+  CHOREO_REQUIRE_MSG(it != running_.end(), "unknown application handle");
+  state_->release(it->second.app, it->second.placement);
+  running_.erase(it);
+}
+
+const place::Placement& Choreo::placement_of(AppHandle handle) const {
+  const auto it = running_.find(handle);
+  CHOREO_REQUIRE_MSG(it != running_.end(), "unknown application handle");
+  return it->second.placement;
+}
+
+double Choreo::estimated_total_completion(
+    const std::vector<std::pair<const place::Application*, const place::Placement*>>& plan)
+    const {
+  // Sum of per-application analytic completion times: the §6.3 metric
+  // ("determine the total running time of each application, and compare the
+  // sum of these running times").
+  double total = 0.0;
+  for (const auto& [app, placement] : plan) {
+    total += place::estimate_completion_s(*app, *placement, state_->view(),
+                                          config_.rate_model);
+  }
+  return total;
+}
+
+Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
+  CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  ReevalReport report;
+  report.apps_considered = running_.size();
+  if (running_.empty()) return report;
+
+  // Refresh the network picture first (§2.4: "Choreo re-measures the
+  // network" and "this re-evaluation also allows Choreo to react to major
+  // changes in the network").
+  measure_network(epoch);
+
+  // Current plan cost.
+  std::vector<std::pair<const place::Application*, const place::Placement*>> current;
+  for (const auto& [handle, entry] : running_) {
+    current.emplace_back(&entry.app, &entry.placement);
+  }
+  const double current_cost = estimated_total_completion(current);
+
+  // Hypothetical re-placement from a clean slate, apps in handle (arrival)
+  // order.
+  place::ClusterState scratch(state_->view());
+  std::map<AppHandle, place::Placement> proposal;
+  place::GreedyPlacer greedy(config_.rate_model);
+  for (const auto& [handle, entry] : running_) {
+    const place::Placement p = greedy.place(entry.app, scratch);
+    scratch.commit(entry.app, p);
+    proposal.emplace(handle, p);
+  }
+  std::vector<std::pair<const place::Application*, const place::Placement*>> proposed;
+  std::size_t moved = 0;
+  for (const auto& [handle, entry] : running_) {
+    const place::Placement& p = proposal.at(handle);
+    proposed.emplace_back(&entry.app, &p);
+    for (std::size_t t = 0; t < entry.app.task_count(); ++t) {
+      if (p.machine_of_task[t] != entry.placement.machine_of_task[t]) ++moved;
+    }
+  }
+  const double proposed_cost = estimated_total_completion(proposed);
+
+  report.tasks_migrated = moved;
+  report.estimated_gain_s = current_cost - proposed_cost;
+  report.migration_cost_s =
+      static_cast<double>(moved) * config_.migration_cost_per_task_s;
+
+  if (moved > 0 && report.estimated_gain_s > report.migration_cost_s) {
+    // Adopt: release everything, commit the new placements.
+    for (auto& [handle, entry] : running_) {
+      state_->release(entry.app, entry.placement);
+    }
+    for (auto& [handle, entry] : running_) {
+      entry.placement = proposal.at(handle);
+      state_->commit(entry.app, entry.placement);
+    }
+    report.adopted = true;
+  }
+  return report;
+}
+
+std::vector<cloud::Cloud::Transfer> Choreo::transfers_for(
+    const place::Application& app, const place::Placement& placement,
+    double start_s) const {
+  app.validate();
+  CHOREO_REQUIRE(placement.machine_of_task.size() == app.task_count());
+  CHOREO_REQUIRE(placement.complete());
+  std::vector<cloud::Cloud::Transfer> out;
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      const double b = app.traffic_bytes(i, j);
+      if (b <= 0.0) continue;
+      cloud::Cloud::Transfer tr;
+      tr.src = vms_[placement.machine_of_task[i]];
+      tr.dst = vms_[placement.machine_of_task[j]];
+      tr.bytes = b;
+      tr.start_s = start_s;
+      out.push_back(tr);
+    }
+  }
+  return out;
+}
+
+}  // namespace choreo::core

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "measure/throughput_matrix.h"
+#include "place/cluster.h"
+#include "place/greedy.h"
+#include "place/placer.h"
+
+namespace choreo::core {
+
+struct ChoreoConfig {
+  /// Packet-train schedule used by the measurement phase; calibrate per
+  /// provider (§4.1).
+  measure::MeasurementPlan plan;
+  /// Rate model for the greedy placement (hose matches what §4.3 found on
+  /// EC2 and Rackspace).
+  place::RateModel rate_model = place::RateModel::Hose;
+  /// §2.4: every T seconds Choreo re-evaluates its placements and migrates
+  /// if worthwhile. "T can be chosen to reflect the cost of migration."
+  double reevaluate_period_s = 600.0;
+  /// Estimated cost of migrating one task (seconds of added completion
+  /// time); a migration is adopted only if the estimated completion-time
+  /// gain exceeds tasks_moved * this.
+  double migration_cost_per_task_s = 20.0;
+  /// Harness escape hatch: when false, placement uses ground-truth rates
+  /// instead of packet-train measurements (isolates placement quality from
+  /// measurement error in ablations).
+  bool use_measured_view = true;
+};
+
+/// The Choreo system (§2): measure the network between the tenant's VMs,
+/// profile applications, place each application's tasks, and keep running
+/// applications' placements under review.
+///
+/// One Choreo instance manages one tenant's fleet on one cloud. It is the
+/// integration point the examples and the §6 benches drive.
+class Choreo {
+ public:
+  using AppHandle = std::size_t;
+
+  Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig config);
+
+  const std::vector<cloud::VmId>& vms() const { return vms_; }
+  const ChoreoConfig& config() const { return config_; }
+
+  /// Runs the measurement phase: packet trains across all VM pairs (plus
+  /// traceroute clustering), refreshing the cluster view placements use.
+  /// Returns the wall-clock seconds the phase would take on the real cloud
+  /// ("less than three minutes for a ten-node topology", §4.1).
+  double measure_network(std::uint64_t epoch);
+
+  /// The tenant's current knowledge of its cluster.
+  const place::ClusterView& view() const;
+  /// Cluster occupancy (committed placements).
+  const place::ClusterState& state() const;
+
+  /// Places a new application with the greedy algorithm on the current
+  /// state and commits it. Requires measure_network() to have run.
+  AppHandle place_application(const place::Application& app);
+
+  /// Places with a caller-supplied algorithm instead (baselines, ILP).
+  AppHandle place_application(const place::Application& app, place::Placer& placer);
+
+  /// Releases a finished application's resources.
+  void remove_application(AppHandle handle);
+
+  struct RunningApp {
+    place::Application app;
+    place::Placement placement;
+  };
+  const std::map<AppHandle, RunningApp>& running() const { return running_; }
+  const place::Placement& placement_of(AppHandle handle) const;
+
+  /// §2.4 re-evaluation: re-measures, re-places every running application
+  /// from scratch (in arrival order), and adopts the new plan if the
+  /// estimated completion-time gain exceeds the migration cost.
+  struct ReevalReport {
+    std::size_t apps_considered = 0;
+    std::size_t tasks_migrated = 0;
+    double estimated_gain_s = 0.0;
+    double migration_cost_s = 0.0;
+    bool adopted = false;
+  };
+  ReevalReport reevaluate(std::uint64_t epoch);
+
+  /// Converts a placed application into the concrete VM-to-VM transfers to
+  /// execute on the cloud.
+  std::vector<cloud::Cloud::Transfer> transfers_for(const place::Application& app,
+                                                    const place::Placement& placement,
+                                                    double start_s) const;
+
+ private:
+  double estimated_total_completion(
+      const std::vector<std::pair<const place::Application*, const place::Placement*>>&
+          plan) const;
+
+  cloud::Cloud& cloud_;
+  std::vector<cloud::VmId> vms_;
+  ChoreoConfig config_;
+  std::unique_ptr<place::ClusterState> state_;
+  place::GreedyPlacer greedy_;
+  std::map<AppHandle, RunningApp> running_;
+  AppHandle next_handle_ = 1;
+  bool measured_ = false;
+};
+
+}  // namespace choreo::core

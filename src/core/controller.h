@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/choreo.h"
+
+namespace choreo::core {
+
+/// Drives a whole tenant session the way §2 describes Choreo operating in
+/// production: applications arrive over time and are placed on arrival
+/// (re-measuring first), finished applications release their VMs, and
+/// "every T minutes, Choreo re-evaluates its placement of the existing
+/// applications, and migrates tasks if necessary" (§2.4).
+///
+/// Departures are driven by the analytic completion estimate, which is the
+/// information a controller actually has before the run finishes.
+struct ControllerConfig {
+  ChoreoConfig choreo;
+  /// Applications that do not fit at arrival wait in a FIFO queue and are
+  /// retried at each departure.
+  bool queue_when_full = true;
+};
+
+struct SessionEvent {
+  double time_s = 0.0;
+  std::string kind;    ///< "arrival", "deferred", "placed", "departure",
+                       ///< "reevaluation"
+  std::string detail;
+};
+
+struct AppOutcome {
+  std::string name;
+  double arrival_s = 0.0;
+  double placed_s = -1.0;   ///< may be later than arrival if queued
+  double finished_s = -1.0;
+  place::Placement placement;
+};
+
+struct SessionLog {
+  std::vector<SessionEvent> events;
+  std::vector<AppOutcome> apps;
+  std::size_t reevaluations = 0;
+  std::size_t reevaluations_adopted = 0;
+  std::size_t tasks_migrated = 0;
+  /// Sum over applications of (finished - arrival): the §6.3 metric.
+  double total_runtime_s = 0.0;
+};
+
+class Controller {
+ public:
+  Controller(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ControllerConfig config);
+
+  /// Runs the session until every application has been placed and has
+  /// (by estimate) finished. Applications must be sorted by arrival_s.
+  SessionLog run(const std::vector<place::Application>& apps);
+
+ private:
+  cloud::Cloud& cloud_;
+  std::vector<cloud::VmId> vms_;
+  ControllerConfig config_;
+};
+
+}  // namespace choreo::core

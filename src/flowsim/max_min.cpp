@@ -1,0 +1,71 @@
+#include "flowsim/max_min.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.h"
+
+namespace choreo::flowsim {
+
+std::vector<double> max_min_rates(
+    const std::vector<double>& resource_capacity,
+    const std::vector<std::vector<ResourceId>>& flow_resources,
+    double unconstrained_rate) {
+  const std::size_t n_res = resource_capacity.size();
+  const std::size_t n_flows = flow_resources.size();
+  for (double c : resource_capacity) CHOREO_REQUIRE(c >= 0.0);
+
+  std::vector<double> remaining = resource_capacity;
+  std::vector<std::size_t> load(n_res, 0);  // unfrozen flows per resource
+  std::vector<double> rate(n_flows, -1.0);
+  std::size_t unfrozen = 0;
+
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    if (flow_resources[f].empty()) {
+      rate[f] = unconstrained_rate;
+      continue;
+    }
+    ++unfrozen;
+    for (ResourceId r : flow_resources[f]) {
+      CHOREO_REQUIRE(r < n_res);
+      ++load[r];
+    }
+  }
+
+  while (unfrozen > 0) {
+    // Find the resource with the smallest fair share among loaded resources.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_res = n_res;
+    for (std::size_t r = 0; r < n_res; ++r) {
+      if (load[r] == 0) continue;
+      const double share = remaining[r] / static_cast<double>(load[r]);
+      if (share < best_share) {
+        best_share = share;
+        best_res = r;
+      }
+    }
+    CHOREO_ASSERT(best_res < n_res);
+
+    // Freeze every unfrozen flow crossing the bottleneck at the fair share.
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (rate[f] >= 0.0 || flow_resources[f].empty()) continue;
+      bool on_bottleneck = false;
+      for (ResourceId r : flow_resources[f]) {
+        if (r == best_res) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (!on_bottleneck) continue;
+      rate[f] = best_share;
+      --unfrozen;
+      for (ResourceId r : flow_resources[f]) {
+        remaining[r] = std::max(0.0, remaining[r] - best_share);
+        --load[r];
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace choreo::flowsim

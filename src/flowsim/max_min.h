@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace choreo::flowsim {
+
+using ResourceId = std::size_t;
+
+/// Computes max-min fair rates for a set of flows over capacitated resources
+/// (progressive filling / water-filling).
+///
+/// A "resource" is anything with a capacity that competing flows share
+/// equally: a physical link, a per-VM hose-model egress cap, or a virtual
+/// switch. Flow `f` uses every resource in `flow_resources[f]`; a flow may
+/// use none (e.g., two tasks on the same machine), in which case its rate is
+/// `unconstrained_rate`.
+///
+/// This models the paper's §3.2 assumption — validated on EC2 — that "TCP
+/// divides the bottleneck rate equally between bulk connections in cloud
+/// networks".
+///
+/// Returns one rate per flow, in the same units as the capacities.
+std::vector<double> max_min_rates(
+    const std::vector<double>& resource_capacity,
+    const std::vector<std::vector<ResourceId>>& flow_resources,
+    double unconstrained_rate);
+
+}  // namespace choreo::flowsim

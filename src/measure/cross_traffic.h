@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/cloud.h"
+
+namespace choreo::measure {
+
+/// §3.2: given a path of maximum rate c1 on which our bulk connection
+/// obtains c2, the load on the bottleneck is equivalent to c = c1/c2 - 1
+/// concurrent backlogged TCP connections. Applied per 10 ms sample.
+std::vector<double> cross_traffic_series(const std::vector<double>& probe_series_bps,
+                                         double path_rate_bps);
+
+/// Integer-rounded version of a single sample (what Fig 4 plots).
+double cross_traffic_estimate(double probe_bps, double path_rate_bps);
+
+/// §3.2's fallback when the maximum path rate is unknown: send one
+/// connection (rate r1), then two in parallel (combined rate s2); the shift
+/// reveals c. Algebra: r1 = C/(c+1), s2 = 2C/(c+2)  =>
+/// c = 2*(r1 - s2) / (s2 - 2*r1)  (and the path rate C follows).
+struct UnknownRateEstimate {
+  double c = 0.0;
+  double path_rate_bps = 0.0;
+};
+UnknownRateEstimate cross_traffic_unknown_rate(double one_conn_bps, double two_conn_total_bps);
+
+/// Runs the full §3.2 procedure on a cloud: a 10-second bulk connection
+/// sampled every `interval_s`, converted to a cross-traffic series.
+std::vector<double> measure_cross_traffic(cloud::Cloud& cloud, cloud::VmId src,
+                                          cloud::VmId dst, double path_rate_bps,
+                                          double duration_s, double interval_s,
+                                          std::uint64_t epoch);
+
+}  // namespace choreo::measure

@@ -1,0 +1,99 @@
+#include "measure/throughput_matrix.h"
+
+#include "measure/packet_train.h"
+#include "util/require.h"
+
+namespace choreo::measure {
+
+MatrixResult measure_rate_matrix(cloud::Cloud& cloud, const std::vector<cloud::VmId>& vms,
+                                 const MeasurementPlan& plan, std::uint64_t epoch) {
+  const std::size_t n = vms.size();
+  CHOREO_REQUIRE(n >= 2);
+  MatrixResult out;
+  out.rate_bps = DoubleMatrix(n, n, 0.0);
+
+  // Round r: VM i sends to VM (i + r) mod n. Every VM sources exactly one
+  // train per round, so hoses never carry two probes at once; n-1 rounds
+  // cover all ordered pairs.
+  for (std::size_t r = 1; r < n; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i + r) % n;
+      const auto records = cloud.run_train(vms[i], vms[j], plan.train, epoch + r);
+      const double rtt = cloud.ping_rtt_s(vms[i], vms[j]);
+      const TrainEstimate est = estimate_train_throughput(records, plan.train, rtt);
+      out.rate_bps(i, j) = est.throughput_bps;
+      ++out.pairs_measured;
+    }
+    ++out.rounds;
+  }
+  out.wall_time_s = plan.setup_overhead_s +
+                    static_cast<double>(out.rounds) *
+                        (train_duration_s(plan.train) + plan.round_overhead_s);
+  return out;
+}
+
+place::ClusterView measured_cluster_view(cloud::Cloud& cloud,
+                                         const std::vector<cloud::VmId>& vms,
+                                         const MeasurementPlan& plan,
+                                         std::uint64_t epoch) {
+  const std::size_t n = vms.size();
+  CHOREO_REQUIRE(n >= 2);
+  place::ClusterView view;
+  view.rate_bps = measure_rate_matrix(cloud, vms, plan, epoch).rate_bps;
+  view.cross_traffic = DoubleMatrix(n, n, 0.0);
+  view.cores.assign(n, static_cast<double>(cloud.machine_cores()));
+
+  // Co-location and hop counts from traceroute: hop count 1 means same
+  // physical host (§3.3.1). Union same-host pairs into groups.
+  view.hops = DoubleMatrix(n, n, 0.0);
+  view.colocation_group.assign(n, -1);
+  int next_group = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (view.colocation_group[i] < 0) view.colocation_group[i] = next_group++;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      view.hops(i, j) = static_cast<double>(cloud.traceroute_hops(vms[i], vms[j]));
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (cloud.traceroute_hops(vms[i], vms[j]) == 1) {
+        view.colocation_group[j] = view.colocation_group[i];
+      }
+    }
+  }
+  return view;
+}
+
+place::ClusterView true_cluster_view(cloud::Cloud& cloud,
+                                     const std::vector<cloud::VmId>& vms,
+                                     std::uint64_t epoch) {
+  const std::size_t n = vms.size();
+  CHOREO_REQUIRE(n >= 2);
+  place::ClusterView view;
+  view.rate_bps = DoubleMatrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      view.rate_bps(i, j) = cloud.true_path_rate_bps(vms[i], vms[j], epoch);
+    }
+  }
+  view.cross_traffic = DoubleMatrix(n, n, 0.0);
+  view.cores.assign(n, static_cast<double>(cloud.machine_cores()));
+  view.hops = DoubleMatrix(n, n, 0.0);
+  view.colocation_group.assign(n, -1);
+  int next_group = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (view.colocation_group[i] < 0) view.colocation_group[i] = next_group++;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      view.hops(i, j) = static_cast<double>(cloud.traceroute_hops(vms[i], vms[j]));
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (cloud.vm_host(vms[i]) == cloud.vm_host(vms[j])) {
+        view.colocation_group[j] = view.colocation_group[i];
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace choreo::measure

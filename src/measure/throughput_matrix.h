@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "packetsim/udp_train.h"
+#include "place/cluster.h"
+#include "util/matrix.h"
+
+namespace choreo::measure {
+
+/// How Choreo measures a tenant's N VMs (§2.2, §4.1): one packet train per
+/// ordered pair, scheduled in rounds so that no VM sources two trains at
+/// once (they would share the hose and bias each other).
+struct MeasurementPlan {
+  packetsim::TrainParams train;  ///< calibrated per provider (§4.1)
+  /// Fixed per-round cost: starting receivers, collecting timestamp logs,
+  /// shipping them to the coordinator.
+  double round_overhead_s = 8.0;
+  /// One-off cost of setting up / tearing down the measurement servers.
+  double setup_overhead_s = 30.0;
+};
+
+struct MatrixResult {
+  /// Estimated single-connection throughput per ordered VM pair (bits/s);
+  /// diagonal entries are zero.
+  DoubleMatrix rate_bps;
+  /// Wall-clock the measurement would take on the real cloud — the quantity
+  /// behind "less than three minutes for a ten-node topology".
+  double wall_time_s = 0.0;
+  std::size_t pairs_measured = 0;
+  std::size_t rounds = 0;
+};
+
+/// Measures every ordered pair among `vms` with packet trains.
+MatrixResult measure_rate_matrix(cloud::Cloud& cloud, const std::vector<cloud::VmId>& vms,
+                                 const MeasurementPlan& plan, std::uint64_t epoch);
+
+/// Builds the tenant's ClusterView from measurements alone: packet-train
+/// rates, traceroute co-location groups (hop count 1 => same host), CPU
+/// capacities from the instance type. This is exactly the information
+/// Choreo's placement stage runs on.
+place::ClusterView measured_cluster_view(cloud::Cloud& cloud,
+                                         const std::vector<cloud::VmId>& vms,
+                                         const MeasurementPlan& plan, std::uint64_t epoch);
+
+/// Harness helper: the same view built from ground truth (noise-free rates,
+/// true co-location) — what an omniscient tenant would know. Used by tests
+/// and by benches that isolate placement quality from measurement error.
+place::ClusterView true_cluster_view(cloud::Cloud& cloud,
+                                     const std::vector<cloud::VmId>& vms,
+                                     std::uint64_t epoch);
+
+}  // namespace choreo::measure

@@ -1,0 +1,46 @@
+#include "packetsim/cross_traffic.h"
+
+#include "util/require.h"
+
+namespace choreo::packetsim {
+
+CrossTrafficSource::CrossTrafficSource(EventQueue& events, Element* target,
+                                       const Params& params, std::uint64_t seed)
+    : events_(events), target_(target), params_(params), rng_(seed) {
+  CHOREO_REQUIRE(target != nullptr);
+  CHOREO_REQUIRE(params.load_bps > 0.0);
+  CHOREO_REQUIRE(params.packet_bytes > 0);
+  CHOREO_REQUIRE(params.mean_on_s > 0.0 && params.mean_off_s > 0.0);
+}
+
+void CrossTrafficSource::start(double start_time) {
+  on_ = true;
+  phase_ends_ = params_.always_on ? 1e30 : start_time + rng_.exponential(params_.mean_on_s);
+  events_.schedule(start_time, [this] { schedule_next(events_.now()); });
+}
+
+void CrossTrafficSource::schedule_next(double now) {
+  if (stopped_) return;
+  // Advance the ON-OFF phase machine past `now`.
+  while (!params_.always_on && now >= phase_ends_) {
+    on_ = !on_;
+    phase_ends_ += rng_.exponential(on_ ? params_.mean_on_s : params_.mean_off_s);
+  }
+  if (on_) {
+    Packet pkt;
+    pkt.flow = params_.flow_id;
+    pkt.seq = seq_++;
+    pkt.wire_bytes = params_.packet_bytes;
+    pkt.sent_time = now;
+    target_->receive(pkt, now);
+    ++sent_;
+    const double mean_gap = params_.packet_bytes * 8.0 / params_.load_bps;
+    events_.schedule(now + rng_.exponential(mean_gap),
+                     [this] { schedule_next(events_.now()); });
+  } else {
+    // Sleep until the OFF phase ends, then resume.
+    events_.schedule(phase_ends_, [this] { schedule_next(events_.now()); });
+  }
+}
+
+}  // namespace choreo::packetsim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "packetsim/event_queue.h"
+#include "packetsim/packet.h"
+#include "util/rng.h"
+
+namespace choreo::packetsim {
+
+/// Open-loop background traffic source: emits fixed-size packets with
+/// exponential inter-arrival times (Poisson arrivals) at a target load,
+/// optionally gated by an exponential ON-OFF process (§3.2's background
+/// connection model). Used to perturb probe paths in measurement
+/// experiments.
+class CrossTrafficSource {
+ public:
+  struct Params {
+    double load_bps = 100e6;      ///< average rate while ON
+    std::uint32_t packet_bytes = 1500;
+    double mean_on_s = 5.0;
+    double mean_off_s = 5.0;
+    bool always_on = false;
+    std::uint64_t flow_id = 9000;
+  };
+
+  CrossTrafficSource(EventQueue& events, Element* target, const Params& params,
+                     std::uint64_t seed);
+
+  /// Begins emission (and the ON-OFF process) at `start_time`.
+  void start(double start_time);
+  /// Stops permanently.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void schedule_next(double now);
+
+  EventQueue& events_;
+  Element* target_;
+  Params params_;
+  Rng rng_;
+  bool on_ = true;
+  bool stopped_ = false;
+  double phase_ends_ = 0.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace choreo::packetsim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/require.h"
+
+namespace choreo::packetsim {
+
+/// Discrete-event scheduler at the heart of the packet-level simulator.
+///
+/// Events fire in (time, insertion-order) order, so simulations are fully
+/// deterministic for a given seed.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule(double time, Callback fn) {
+    CHOREO_REQUIRE(time >= now_);
+    heap_.push(Entry{time, seq_++, std::move(fn)});
+  }
+
+  /// Schedules relative to the current time.
+  void schedule_in(double delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the callback out before popping so that callbacks may schedule.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    e.fn();
+    return true;
+  }
+
+  /// Runs events with time <= t_end, then advances the clock to t_end.
+  void run_until(double t_end) {
+    CHOREO_REQUIRE(t_end >= now_);
+    while (!heap_.empty() && heap_.top().time <= t_end) step();
+    now_ = t_end;
+  }
+
+  /// Drains the queue completely (the simulation must terminate naturally).
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace choreo::packetsim

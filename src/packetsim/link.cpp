@@ -1,0 +1,50 @@
+#include "packetsim/link.h"
+
+namespace choreo::packetsim {
+
+Link::Link(EventQueue& events, double rate_bps, double delay_s, double queue_bytes,
+           Element* next)
+    : events_(events),
+      rate_bps_(rate_bps),
+      delay_s_(delay_s),
+      queue_limit_bytes_(queue_bytes),
+      next_(next) {
+  CHOREO_REQUIRE(rate_bps > 0.0);
+  CHOREO_REQUIRE(delay_s >= 0.0);
+  CHOREO_REQUIRE(queue_bytes >= 0.0);
+  CHOREO_REQUIRE(next != nullptr);
+}
+
+void Link::receive(const Packet& pkt, double now) {
+  if (busy_ && queued_bytes_ + pkt.wire_bytes > queue_limit_bytes_) {
+    ++drops_;
+    return;
+  }
+  queue_.push_back(pkt);
+  queued_bytes_ += pkt.wire_bytes;
+  if (!busy_) start_service(now);
+}
+
+void Link::start_service(double now) {
+  CHOREO_ASSERT(!queue_.empty());
+  busy_ = true;
+  const Packet pkt = queue_.front();
+  const double tx_time = static_cast<double>(pkt.wire_bytes) * 8.0 / rate_bps_;
+  events_.schedule(now + tx_time, [this, pkt] {
+    const double t = events_.now();
+    queue_.pop_front();
+    queued_bytes_ -= pkt.wire_bytes;
+    ++forwarded_;
+    // Propagation: hand to the next element after the link delay.
+    const Packet delivered = pkt;
+    events_.schedule(t + delay_s_,
+                     [this, delivered] { next_->receive(delivered, events_.now()); });
+    if (!queue_.empty()) {
+      start_service(t);
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+}  // namespace choreo::packetsim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "packetsim/event_queue.h"
+#include "packetsim/packet.h"
+
+namespace choreo::packetsim {
+
+/// A store-and-forward link: FIFO drop-tail queue, fixed service rate,
+/// fixed propagation delay. Multiple upstream elements may feed one link;
+/// contention happens naturally in the queue.
+class Link : public Element {
+ public:
+  /// `queue_bytes` bounds the drop-tail buffer, including the packet
+  /// currently in service. `next` must outlive the link.
+  Link(EventQueue& events, double rate_bps, double delay_s, double queue_bytes,
+       Element* next);
+
+  void receive(const Packet& pkt, double now) override;
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  double queued_bytes() const { return queued_bytes_; }
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  void start_service(double now);
+
+  EventQueue& events_;
+  double rate_bps_;
+  double delay_s_;
+  double queue_limit_bytes_;
+  Element* next_;
+
+  std::deque<Packet> queue_;
+  double queued_bytes_ = 0.0;
+  bool busy_ = false;
+  std::uint64_t drops_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace choreo::packetsim

@@ -1,0 +1,40 @@
+#include "packetsim/path.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace choreo::packetsim {
+
+Path::Path(EventQueue& events, const ShaperSpec& shaper, const std::vector<HopSpec>& hops,
+           Element* terminal) {
+  CHOREO_REQUIRE(terminal != nullptr);
+  CHOREO_REQUIRE(!hops.empty() || shaper.enabled);
+
+  // Build the chain back to front so each element knows its successor.
+  Element* next = terminal;
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    links_.push_back(std::make_unique<Link>(events, it->rate_bps, it->delay_s,
+                                            it->queue_bytes, next));
+    next = links_.back().get();
+  }
+  if (shaper.enabled) {
+    shaper_ = std::make_unique<TokenBucket>(events, shaper.rate_bps, shaper.depth_bytes,
+                                            next, shaper.idle_reset_s);
+    next = shaper_.get();
+  }
+  entry_ = next;
+}
+
+Element& Path::entry() {
+  CHOREO_ASSERT(entry_ != nullptr);
+  return *entry_;
+}
+
+Link& Path::hop(std::size_t i) {
+  CHOREO_REQUIRE(i < links_.size());
+  // links_ is stored last-to-first; translate to first-to-last indexing.
+  return *links_[links_.size() - 1 - i];
+}
+
+}  // namespace choreo::packetsim

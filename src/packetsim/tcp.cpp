@@ -1,0 +1,199 @@
+#include "packetsim/tcp.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace choreo::packetsim {
+
+TcpReceiver::TcpReceiver(EventQueue& events, Element* reverse_path, const TcpParams& params)
+    : events_(events), reverse_(reverse_path), params_(params) {
+  CHOREO_REQUIRE(reverse_path != nullptr);
+}
+
+void TcpReceiver::receive(const Packet& pkt, double now) {
+  CHOREO_REQUIRE(!pkt.is_ack);
+  arrivals_.emplace_back(now, pkt.wire_bytes - params_.header_bytes);
+  if (pkt.seq == expected_) {
+    ++expected_;
+    ++delivered_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++expected_;
+      ++delivered_;
+    }
+  } else if (pkt.seq > expected_) {
+    out_of_order_.insert(pkt.seq);
+  }  // duplicate below expected_: ignore payload, still ACK
+
+  Packet ack;
+  ack.flow = pkt.flow;
+  ack.is_ack = true;
+  ack.ack_seq = expected_;
+  ack.wire_bytes = params_.ack_bytes;
+  ack.sent_time = now;
+  reverse_->receive(ack, now);
+}
+
+void AckTap::receive(const Packet& pkt, double now) { sender_->on_ack(pkt, now); }
+
+TcpSender::TcpSender(EventQueue& events, Element* forward_path, const TcpParams& params,
+                     std::uint64_t flow_id, std::uint64_t total_bytes)
+    : events_(events),
+      forward_(forward_path),
+      params_(params),
+      flow_(flow_id),
+      total_segments_(total_bytes == kUnbounded
+                          ? kUnbounded
+                          : (total_bytes + params.mss_bytes - 1) / params.mss_bytes),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh),
+      rto_(1.0) {
+  CHOREO_REQUIRE(forward_path != nullptr);
+  CHOREO_REQUIRE(total_bytes > 0);
+}
+
+void TcpSender::start(double start_time) {
+  CHOREO_REQUIRE(!started_);
+  started_ = true;
+  start_time_ = start_time;
+  events_.schedule(start_time, [this] { try_send(events_.now()); });
+}
+
+void TcpSender::send_segment(std::uint64_t seq, double now) {
+  Packet pkt;
+  pkt.flow = flow_;
+  pkt.seq = seq;
+  pkt.wire_bytes = params_.mss_bytes + params_.header_bytes;
+  pkt.sent_time = now;
+  forward_->receive(pkt, now);
+  // Time one segment per RTT for RTT estimation (Karn's rule: only new data).
+  if (timed_sent_at_ < 0.0 && seq >= next_seq_) {
+    timed_seq_ = seq;
+    timed_sent_at_ = now;
+  }
+}
+
+void TcpSender::try_send(double now) {
+  if (finished_) return;
+  const double effective_cwnd = std::min(cwnd_, params_.max_cwnd);
+  while (true) {
+    const std::uint64_t inflight = next_seq_ - acked_segments_;
+    if (static_cast<double>(inflight) + 1.0 > effective_cwnd) break;
+    if (next_seq_ >= total_segments_) break;
+    send_segment(next_seq_, now);
+    ++next_seq_;
+  }
+  arm_rto(now);
+}
+
+void TcpSender::arm_rto(double now) {
+  ++rto_generation_;
+  const std::uint64_t gen = rto_generation_;
+  const double deadline = std::max(rto_ * rto_backoff_, params_.min_rto_s);
+  events_.schedule(now + deadline, [this, gen] { on_rto(gen); });
+}
+
+void TcpSender::on_rto(std::uint64_t generation) {
+  if (generation != rto_generation_ || finished_) return;
+  if (acked_segments_ >= next_seq_) return;  // nothing outstanding
+  const double now = events_.now();
+  // Timeout: shrink to one segment, re-enter slow start, retransmit the hole.
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  rto_backoff_ = std::min(rto_backoff_ * 2.0, 64.0);
+  timed_sent_at_ = -1.0;  // Karn: do not time retransmissions
+  ++retransmits_;
+  send_segment(acked_segments_, now);
+  arm_rto(now);
+}
+
+void TcpSender::on_ack(const Packet& pkt, double now) {
+  CHOREO_REQUIRE(pkt.is_ack);
+  if (finished_) return;
+
+  if (pkt.ack_seq > acked_segments_) {
+    // New data acknowledged.
+    const std::uint64_t newly = pkt.ack_seq - acked_segments_;
+    acked_segments_ = pkt.ack_seq;
+    rto_backoff_ = 1.0;
+
+    // RTT sample from the timed segment (skip if it was retransmitted).
+    if (timed_sent_at_ >= 0.0 && acked_segments_ > timed_seq_) {
+      const double sample = now - timed_sent_at_;
+      if (!rtt_seeded_) {
+        srtt_ = sample;
+        rttvar_ = sample / 2.0;
+        rtt_seeded_ = true;
+      } else {
+        rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+        srtt_ = 0.875 * srtt_ + 0.125 * sample;
+      }
+      rto_ = std::max(params_.min_rto_s, srtt_ + 4.0 * rttvar_);
+      timed_sent_at_ = -1.0;
+    }
+
+    if (in_recovery_) {
+      if (acked_segments_ >= recovery_point_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+        dup_acks_ = 0;
+      } else {
+        // Partial ACK: retransmit the next hole (NewReno-style).
+        ++retransmits_;
+        send_segment(acked_segments_, now);
+      }
+    } else {
+      dup_acks_ = 0;
+      for (std::uint64_t i = 0; i < newly; ++i) {
+        if (cwnd_ < ssthresh_) {
+          cwnd_ += 1.0;  // slow start
+        } else {
+          cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+        }
+      }
+    }
+
+    if (total_segments_ != kUnbounded && acked_segments_ >= total_segments_) {
+      finished_ = true;
+      finish_time_ = now;
+      ++rto_generation_;  // cancel timer
+      return;
+    }
+    try_send(now);
+    return;
+  }
+
+  // Duplicate ACK.
+  if (pkt.ack_seq == acked_segments_ && next_seq_ > acked_segments_) {
+    ++dup_acks_;
+    if (!in_recovery_ && dup_acks_ == 3) {
+      // Fast retransmit / fast recovery.
+      in_recovery_ = true;
+      recovery_point_ = next_seq_;
+      recovery_entry_pipe_ = static_cast<double>(next_seq_ - acked_segments_);
+      ssthresh_ = std::max(2.0, recovery_entry_pipe_ / 2.0);
+      cwnd_ = ssthresh_ + 3.0;
+      timed_sent_at_ = -1.0;
+      ++retransmits_;
+      send_segment(acked_segments_, now);
+      arm_rto(now);
+    } else if (in_recovery_) {
+      // Inflate per extra dup ACK, but never beyond the pipe at recovery
+      // entry: unbounded inflation after a deep overshoot blasts a second
+      // loss burst into the queue.
+      cwnd_ = std::min(cwnd_ + 1.0, recovery_entry_pipe_ + 3.0);
+      try_send(now);
+    }
+  }
+}
+
+double TcpSender::throughput_bps(double now) const {
+  const double elapsed = (finished_ ? finish_time_ : now) - start_time_;
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(acked_bytes()) * 8.0 / elapsed;
+}
+
+}  // namespace choreo::packetsim

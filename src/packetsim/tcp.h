@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "packetsim/event_queue.h"
+#include "packetsim/packet.h"
+
+namespace choreo::packetsim {
+
+struct TcpParams {
+  std::uint32_t mss_bytes = 1448;    ///< segment payload
+  std::uint32_t header_bytes = 52;   ///< TCP/IP headers on the wire
+  std::uint32_t ack_bytes = 52;      ///< pure ACK wire size
+  double initial_cwnd = 10.0;        ///< segments
+  /// Initial slow-start threshold (segments). Real stacks cache a sane value
+  /// per destination; an unbounded threshold makes the first slow-start
+  /// overshoot by thousands of segments on high-bandwidth paths and then
+  /// collapse, which no production TCP does.
+  double initial_ssthresh = 64.0;
+  double min_rto_s = 0.2;
+  double max_cwnd = 4096.0;          ///< receive-window stand-in (segments)
+};
+
+class TcpSender;
+
+/// Terminal element of the forward path: reassembles the byte stream and
+/// emits cumulative ACKs onto the reverse path.
+class TcpReceiver : public Element {
+ public:
+  TcpReceiver(EventQueue& events, Element* reverse_path, const TcpParams& params);
+
+  void receive(const Packet& pkt, double now) override;
+
+  /// Next expected segment (cumulative ack).
+  std::uint64_t cumulative_ack() const { return expected_; }
+  std::uint64_t delivered_segments() const { return delivered_; }
+
+  /// Arrival log (time, payload bytes) for §3.2-style receiver-side
+  /// throughput sampling; cleared by take_arrivals().
+  const std::vector<std::pair<double, std::uint32_t>>& arrivals() const {
+    return arrivals_;
+  }
+
+ private:
+  EventQueue& events_;
+  Element* reverse_;
+  TcpParams params_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+  std::vector<std::pair<double, std::uint32_t>> arrivals_;
+};
+
+/// Adapter: terminal element of the reverse path that feeds ACKs back into
+/// the sender's control loop.
+class AckTap : public Element {
+ public:
+  explicit AckTap(TcpSender* sender) : sender_(sender) {}
+  void receive(const Packet& pkt, double now) override;
+
+ private:
+  TcpSender* sender_;
+};
+
+/// TCP Reno bulk sender: slow start, AIMD congestion avoidance, fast
+/// retransmit on three duplicate ACKs, RTO with exponential backoff.
+///
+/// The model is deliberately "netperf-shaped": a single bulk transfer with
+/// unbounded application data (or a fixed byte count), no Nagle, no delayed
+/// ACKs. It is used as the packet-level ground truth that Choreo's packet
+/// trains are validated against (§4.1) and for fairness experiments.
+class TcpSender {
+ public:
+  /// `total_bytes` of payload to deliver; use kUnbounded for a persistent
+  /// transfer stopped externally.
+  static constexpr std::uint64_t kUnbounded = std::numeric_limits<std::uint64_t>::max();
+
+  TcpSender(EventQueue& events, Element* forward_path, const TcpParams& params,
+            std::uint64_t flow_id, std::uint64_t total_bytes);
+
+  /// Begins the transfer at `start_time`.
+  void start(double start_time);
+
+  /// Invoked by AckTap when a cumulative ACK arrives.
+  void on_ack(const Packet& pkt, double now);
+
+  bool finished() const { return finished_; }
+  double finish_time() const { return finish_time_; }
+  double start_time() const { return start_time_; }
+  std::uint64_t acked_bytes() const { return acked_segments_ * params_.mss_bytes; }
+
+  /// Goodput over the transfer (finished) or up to `now` (unbounded).
+  double throughput_bps(double now) const;
+
+  double cwnd() const { return cwnd_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t flow_id() const { return flow_; }
+
+ private:
+  void try_send(double now);
+  void send_segment(std::uint64_t seq, double now);
+  void arm_rto(double now);
+  void on_rto(std::uint64_t generation);
+
+  EventQueue& events_;
+  Element* forward_;
+  TcpParams params_;
+  std::uint64_t flow_;
+  std::uint64_t total_segments_;
+
+  // Reno state (in segments).
+  double cwnd_;
+  double ssthresh_;
+  std::uint64_t next_seq_ = 0;       ///< next new segment to send
+  std::uint64_t acked_segments_ = 0; ///< cumulative ack from receiver
+  std::uint32_t dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  double recovery_entry_pipe_ = 0.0;  ///< inflight at recovery entry (caps inflation)
+
+  // RTT estimation (RFC 6298 style).
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  double rto_;
+  bool rtt_seeded_ = false;
+  std::uint64_t timed_seq_ = 0;
+  double timed_sent_at_ = -1.0;
+  std::uint64_t rto_generation_ = 0;
+  double rto_backoff_ = 1.0;
+
+  bool started_ = false;
+  bool finished_ = false;
+  double start_time_ = 0.0;
+  double finish_time_ = -1.0;
+  std::uint64_t retransmits_ = 0;
+};
+
+}  // namespace choreo::packetsim

@@ -1,0 +1,37 @@
+#include "packetsim/udp_train.h"
+
+#include "util/require.h"
+
+namespace choreo::packetsim {
+
+double send_train(EventQueue& events, Element& first, const TrainParams& params,
+                  std::uint64_t flow_id, double start_time) {
+  CHOREO_REQUIRE(params.bursts >= 1 && params.burst_length >= 2);
+  CHOREO_REQUIRE(params.packet_bytes >= 1);
+  CHOREO_REQUIRE(params.line_rate_bps > 0.0);
+  CHOREO_REQUIRE(start_time >= events.now());
+
+  const std::uint32_t wire = params.packet_bytes + params.header_bytes;
+  const double spacing = static_cast<double>(wire) * 8.0 / params.line_rate_bps;
+
+  double t = start_time;
+  std::uint64_t seq = 0;
+  double last_emission = start_time;
+  for (std::uint32_t k = 0; k < params.bursts; ++k) {
+    for (std::uint32_t i = 0; i < params.burst_length; ++i) {
+      Packet pkt;
+      pkt.flow = flow_id;
+      pkt.seq = seq++;
+      pkt.burst = k;
+      pkt.wire_bytes = wire;
+      pkt.sent_time = t;
+      events.schedule(t, [&first, pkt] { first.receive(pkt, pkt.sent_time); });
+      last_emission = t;
+      t += spacing;
+    }
+    t += params.inter_burst_gap_s;
+  }
+  return last_emission;
+}
+
+}  // namespace choreo::packetsim

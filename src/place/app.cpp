@@ -1,0 +1,59 @@
+#include "place/app.h"
+
+#include <algorithm>
+
+namespace choreo::place {
+
+Application combine(const std::vector<Application>& apps) {
+  CHOREO_REQUIRE(!apps.empty());
+  std::size_t total = 0;
+  for (const Application& a : apps) {
+    a.validate();
+    total += a.task_count();
+  }
+  Application out;
+  out.name = "combined";
+  out.cpu_demand.reserve(total);
+  out.traffic_bytes = DoubleMatrix(total, total, 0.0);
+  out.arrival_s = apps.front().arrival_s;
+  std::size_t offset = 0;
+  for (const Application& a : apps) {
+    for (double c : a.cpu_demand) out.cpu_demand.push_back(c);
+    for (std::size_t i = 0; i < a.task_count(); ++i) {
+      for (std::size_t j = 0; j < a.task_count(); ++j) {
+        out.traffic_bytes(offset + i, offset + j) = a.traffic_bytes(i, j);
+      }
+    }
+    // Carry constraints over with shifted task indices.
+    for (const auto& [x, y] : a.constraints.separate) {
+      out.constraints.separate.emplace_back(offset + x, offset + y);
+    }
+    for (const PlacementConstraints::LatencyBound& l : a.constraints.latency) {
+      out.constraints.latency.push_back({offset + l.a, offset + l.b, l.max_hops});
+    }
+    for (const auto& [task, machine] : a.constraints.pinned) {
+      out.constraints.pinned.emplace(offset + task, machine);
+    }
+    out.arrival_s = std::min(out.arrival_s, a.arrival_s);
+    offset += a.task_count();
+  }
+  return out;
+}
+
+std::vector<TransferDemand> sorted_transfers(const Application& app) {
+  std::vector<TransferDemand> out;
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      const double b = app.traffic_bytes(i, j);
+      if (b > 0.0) out.push_back(TransferDemand{i, j, b});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TransferDemand& a, const TransferDemand& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    if (a.src_task != b.src_task) return a.src_task < b.src_task;
+    return a.dst_task < b.dst_task;
+  });
+  return out;
+}
+
+}  // namespace choreo::place

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "place/constraints.h"
+#include "util/matrix.h"
+
+namespace choreo::place {
+
+/// A distributed application to place: per-task CPU demands and the §2.1
+/// traffic matrix ("each entry B_ij is proportional to the number of bytes
+/// sent from task i to task j").
+struct Application {
+  std::string name;
+  /// CPU demand per task, in cores (the paper models 0.5 to 4).
+  std::vector<double> cpu_demand;
+  /// B[i][j] = bytes task i sends to task j over the application's lifetime.
+  DoubleMatrix traffic_bytes;
+  /// Arrival time for sequence experiments (§6.3); 0 for batch placement.
+  double arrival_s = 0.0;
+  /// Optional fault-tolerance / latency / pinning requirements (Conclusion,
+  /// tech report [20]). Honoured by the network-aware placers.
+  PlacementConstraints constraints;
+
+  std::size_t task_count() const { return cpu_demand.size(); }
+
+  void validate() const {
+    CHOREO_REQUIRE(!cpu_demand.empty());
+    CHOREO_REQUIRE(traffic_bytes.rows() == cpu_demand.size());
+    CHOREO_REQUIRE(traffic_bytes.cols() == cpu_demand.size());
+    for (double c : cpu_demand) CHOREO_REQUIRE(c > 0.0);
+    for (std::size_t i = 0; i < traffic_bytes.rows(); ++i) {
+      for (std::size_t j = 0; j < traffic_bytes.cols(); ++j) {
+        CHOREO_REQUIRE(traffic_bytes(i, j) >= 0.0);
+        CHOREO_REQUIRE(i != j || traffic_bytes(i, j) == 0.0);
+      }
+    }
+    constraints.validate(task_count());
+  }
+};
+
+/// Merges applications into one (block-diagonal traffic matrix, concatenated
+/// CPU vectors) — §6.2 "we randomly chose between one and three applications
+/// and made one combined application out of them, combining each
+/// application's traffic demand matrix and CPU vector in the obvious way".
+Application combine(const std::vector<Application>& apps);
+
+/// One directed transfer of an application, used by placement algorithms.
+struct TransferDemand {
+  std::size_t src_task = 0;
+  std::size_t dst_task = 0;
+  double bytes = 0.0;
+};
+
+/// All non-zero transfers of `app`, sorted by descending byte count
+/// (Algorithm 1 line 1), ties broken by (src, dst) for determinism.
+std::vector<TransferDemand> sorted_transfers(const Application& app);
+
+}  // namespace choreo::place

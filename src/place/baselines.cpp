@@ -1,0 +1,106 @@
+#include "place/baselines.h"
+
+#include <algorithm>
+
+namespace choreo::place {
+namespace {
+
+std::vector<double> snapshot_free_cores(const ClusterState& state) {
+  std::vector<double> free(state.machine_count());
+  for (std::size_t m = 0; m < state.machine_count(); ++m) free[m] = state.free_cores(m);
+  return free;
+}
+
+}  // namespace
+
+Placement RandomPlacer::place(const Application& app, const ClusterState& state) {
+  app.validate();
+  const std::size_t M = state.machine_count();
+  std::vector<double> free = snapshot_free_cores(state);
+
+  Placement placement;
+  placement.machine_of_task.assign(app.task_count(), kUnplaced);
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    // Draw among CPU-feasible machines uniformly.
+    std::vector<std::size_t> feasible;
+    for (std::size_t m = 0; m < M; ++m) {
+      if (free[m] + 1e-9 >= app.cpu_demand[t]) feasible.push_back(m);
+    }
+    if (feasible.empty()) {
+      throw PlacementError("random: no CPU room for task " + std::to_string(t));
+    }
+    const std::size_t m = feasible[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(feasible.size()) - 1))];
+    placement.machine_of_task[t] = m;
+    free[m] -= app.cpu_demand[t];
+  }
+  return placement;
+}
+
+Placement RoundRobinPlacer::place(const Application& app, const ClusterState& state) {
+  app.validate();
+  const std::size_t M = state.machine_count();
+  std::vector<double> free = snapshot_free_cores(state);
+
+  Placement placement;
+  placement.machine_of_task.assign(app.task_count(), kUnplaced);
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    bool placed = false;
+    for (std::size_t probe = 0; probe < M; ++probe) {
+      const std::size_t m = (next_ + probe) % M;
+      if (free[m] + 1e-9 >= app.cpu_demand[t]) {
+        placement.machine_of_task[t] = m;
+        free[m] -= app.cpu_demand[t];
+        next_ = (m + 1) % M;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      throw PlacementError("round-robin: no CPU room for task " + std::to_string(t));
+    }
+  }
+  return placement;
+}
+
+Placement MinMachinesPlacer::place(const Application& app, const ClusterState& state) {
+  app.validate();
+  const std::size_t M = state.machine_count();
+  std::vector<double> free = snapshot_free_cores(state);
+  // "Used" machines: already carrying committed load, or used during this
+  // placement.
+  std::vector<bool> used(M, false);
+  for (std::size_t m = 0; m < M; ++m) {
+    used[m] = state.free_cores(m) < state.view().cores[m] - 1e-9;
+  }
+
+  Placement placement;
+  placement.machine_of_task.assign(app.task_count(), kUnplaced);
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    std::size_t chosen = kUnplaced;
+    // Prefer used machines (first-fit over used, then open a fresh one).
+    for (std::size_t m = 0; m < M; ++m) {
+      if (used[m] && free[m] + 1e-9 >= app.cpu_demand[t]) {
+        chosen = m;
+        break;
+      }
+    }
+    if (chosen == kUnplaced) {
+      for (std::size_t m = 0; m < M; ++m) {
+        if (!used[m] && free[m] + 1e-9 >= app.cpu_demand[t]) {
+          chosen = m;
+          break;
+        }
+      }
+    }
+    if (chosen == kUnplaced) {
+      throw PlacementError("min-machines: no CPU room for task " + std::to_string(t));
+    }
+    placement.machine_of_task[t] = chosen;
+    free[chosen] -= app.cpu_demand[t];
+    used[chosen] = true;
+  }
+  return placement;
+}
+
+}  // namespace choreo::place

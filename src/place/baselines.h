@@ -1,0 +1,44 @@
+#pragma once
+
+#include "place/placer.h"
+#include "util/rng.h"
+
+namespace choreo::place {
+
+/// §6 baseline: "Tasks are assigned to random VMs. This assignment makes
+/// sure that CPU constraints are satisfied, but does not take the network
+/// into account."
+class RandomPlacer : public Placer {
+ public:
+  explicit RandomPlacer(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  Placement place(const Application& app, const ClusterState& state) override;
+
+ private:
+  Rng rng_;
+};
+
+/// §6 baseline: "assigns tasks in a round-robin order to VMs; a particular
+/// task is assigned to the next machine in the list that has enough
+/// available CPU" — a load-balancing placement. The rotation position
+/// persists across applications.
+class RoundRobinPlacer : public Placer {
+ public:
+  std::string name() const override { return "round-robin"; }
+  Placement place(const Application& app, const ClusterState& state) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// §6 baseline: "attempts to minimize the number of machines used. If
+/// possible (given CPU constraints), a task will be placed onto a VM that is
+/// already used by another task; a new VM will be used only when no existing
+/// machine has enough available CPU."
+class MinMachinesPlacer : public Placer {
+ public:
+  std::string name() const override { return "min-machines"; }
+  Placement place(const Application& app, const ClusterState& state) override;
+};
+
+}  // namespace choreo::place

@@ -1,0 +1,111 @@
+#include "place/cluster.h"
+
+#include <algorithm>
+
+namespace choreo::place {
+
+const char* to_string(RateModel m) {
+  switch (m) {
+    case RateModel::Pipe: return "pipe";
+    case RateModel::Hose: return "hose";
+  }
+  return "?";
+}
+
+double ClusterView::hose_bps(std::size_t m) const {
+  CHOREO_REQUIRE(m < machine_count());
+  double best = 0.0;
+  for (std::size_t n = 0; n < machine_count(); ++n) {
+    if (n == m || colocated(m, n)) continue;
+    best = std::max(best, rate_bps(m, n));
+  }
+  if (best == 0.0) {
+    // All peers are colocated (or single machine): fall back to any rate.
+    for (std::size_t n = 0; n < machine_count(); ++n) {
+      if (n != m) best = std::max(best, rate_bps(m, n));
+    }
+  }
+  return best;
+}
+
+double ClusterView::path_capacity_bps(std::size_t m, std::size_t n) const {
+  CHOREO_REQUIRE(m < machine_count() && n < machine_count());
+  CHOREO_REQUIRE(m != n);
+  const double c = cross_traffic.empty() ? 0.0 : cross_traffic(m, n);
+  return rate_bps(m, n) * (c + 1.0);
+}
+
+void ClusterView::validate() const {
+  CHOREO_REQUIRE(!cores.empty());
+  CHOREO_REQUIRE(rate_bps.rows() == cores.size() && rate_bps.cols() == cores.size());
+  CHOREO_REQUIRE(colocation_group.size() == cores.size());
+  if (!cross_traffic.empty()) {
+    CHOREO_REQUIRE(cross_traffic.rows() == cores.size() &&
+                   cross_traffic.cols() == cores.size());
+  }
+  if (!hops.empty()) {
+    CHOREO_REQUIRE(hops.rows() == cores.size() && hops.cols() == cores.size());
+  }
+  for (double c : cores) CHOREO_REQUIRE(c > 0.0);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = 0; j < cores.size(); ++j) {
+      if (i != j) CHOREO_REQUIRE(rate_bps(i, j) > 0.0);
+    }
+  }
+}
+
+ClusterState::ClusterState(ClusterView view)
+    : view_(std::move(view)),
+      used_cores_(view_.machine_count(), 0.0),
+      path_transfers_(view_.machine_count(), view_.machine_count()),
+      out_transfers_(view_.machine_count(), 0.0) {
+  view_.validate();
+}
+
+double ClusterState::free_cores(std::size_t m) const {
+  CHOREO_REQUIRE(m < machine_count());
+  return view_.cores[m] - used_cores_[m];
+}
+
+double ClusterState::transfers_on_path(std::size_t m, std::size_t n) const {
+  CHOREO_REQUIRE(m < machine_count() && n < machine_count());
+  return path_transfers_(m, n);
+}
+
+double ClusterState::transfers_out_of(std::size_t m) const {
+  CHOREO_REQUIRE(m < machine_count());
+  return out_transfers_[m];
+}
+
+void ClusterState::commit(const Application& app, const Placement& placement) {
+  apply(app, placement, +1.0);
+}
+
+void ClusterState::release(const Application& app, const Placement& placement) {
+  apply(app, placement, -1.0);
+}
+
+void ClusterState::apply(const Application& app, const Placement& placement, double sign) {
+  app.validate();
+  CHOREO_REQUIRE(placement.machine_of_task.size() == app.task_count());
+  CHOREO_REQUIRE(placement.complete());
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    const std::size_t m = placement.machine_of_task[t];
+    CHOREO_REQUIRE(m < machine_count());
+    used_cores_[m] += sign * app.cpu_demand[t];
+    CHOREO_ASSERT(used_cores_[m] >= -1e-9);
+    CHOREO_ASSERT(used_cores_[m] <= view_.cores[m] + 1e-9);
+  }
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      if (app.traffic_bytes(i, j) <= 0.0) continue;
+      const std::size_t m = placement.machine_of_task[i];
+      const std::size_t n = placement.machine_of_task[j];
+      if (m == n) continue;  // intra-machine: free
+      path_transfers_(m, n) += sign;
+      if (!view_.colocated(m, n)) out_transfers_[m] += sign;
+    }
+  }
+}
+
+}  // namespace choreo::place

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "place/app.h"
+#include "util/matrix.h"
+
+namespace choreo::place {
+
+/// Sentinel for "task not placed yet".
+inline constexpr std::size_t kUnplaced = std::numeric_limits<std::size_t>::max();
+
+/// A placement: machine index per task.
+struct Placement {
+  std::vector<std::size_t> machine_of_task;
+
+  bool complete() const {
+    for (std::size_t m : machine_of_task) {
+      if (m == kUnplaced) return false;
+    }
+    return !machine_of_task.empty();
+  }
+};
+
+/// How rates are estimated when several transfers share the network (§5,
+/// Algorithm 1 line 13).
+enum class RateModel {
+  /// Each path m->n is an independent pipe; transfers on the same path share
+  /// its measured rate.
+  Pipe,
+  /// All transfers leaving machine m share m's hose (what §4.3 finds on EC2
+  /// and Rackspace).
+  Hose,
+};
+
+const char* to_string(RateModel m);
+
+/// The tenant's knowledge of its rented cluster: what Choreo's measurement
+/// phase produces (or, in tests, ground truth).
+struct ClusterView {
+  /// R: single-connection TCP throughput of each VM pair (bits/s). The
+  /// diagonal is ignored (intra-machine transfers are free).
+  DoubleMatrix rate_bps;
+  /// Equivalent background connections per path (§3.2); zero when unknown.
+  DoubleMatrix cross_traffic;
+  /// Physical co-location groups from traceroute (§3.3): machines with the
+  /// same group share a host (their paths bypass the hose). Distinct values
+  /// mean distinct hosts.
+  std::vector<int> colocation_group;
+  /// Traceroute hop counts between machines (1 = same host, 2 = same rack,
+  /// ...). Optional — required only by latency constraints; empty otherwise.
+  DoubleMatrix hops;
+  /// CPU capacity per machine, in cores.
+  std::vector<double> cores;
+
+  std::size_t machine_count() const { return cores.size(); }
+
+  bool colocated(std::size_t m, std::size_t n) const {
+    return colocation_group[m] == colocation_group[n];
+  }
+
+  /// Estimated hose (egress cap) of machine m: the best single-connection
+  /// rate out of m to a non-colocated machine. (A single bulk connection
+  /// fills the hose when the fabric is unconstrained, which §4 verifies.)
+  double hose_bps(std::size_t m) const;
+
+  /// Effective capacity of path m->n: the measured single-connection rate
+  /// un-shared from the measured cross traffic, R * (c + 1).
+  double path_capacity_bps(std::size_t m, std::size_t n) const;
+
+  void validate() const;
+};
+
+/// Mutable occupancy of a cluster as applications are placed one after
+/// another: free CPU plus the transfer counts the rate models need.
+class ClusterState {
+ public:
+  explicit ClusterState(ClusterView view);
+
+  const ClusterView& view() const { return view_; }
+  std::size_t machine_count() const { return view_.machine_count(); }
+
+  double free_cores(std::size_t m) const;
+  /// Transfers currently placed on path m->n (inter-machine only).
+  double transfers_on_path(std::size_t m, std::size_t n) const;
+  /// Transfers currently leaving machine m for non-colocated machines.
+  double transfers_out_of(std::size_t m) const;
+
+  /// Records an application's placement: consumes CPU and registers its
+  /// transfers so later placements see the contention.
+  void commit(const Application& app, const Placement& placement);
+
+  /// Removes a previously committed application (for §2.4 re-evaluation /
+  /// migration). The caller must pass the same placement it committed.
+  void release(const Application& app, const Placement& placement);
+
+ private:
+  void apply(const Application& app, const Placement& placement, double sign);
+
+  ClusterView view_;
+  std::vector<double> used_cores_;
+  DoubleMatrix path_transfers_;
+  std::vector<double> out_transfers_;
+};
+
+}  // namespace choreo::place

@@ -1,0 +1,84 @@
+#include "place/constraints.h"
+
+#include "place/cluster.h"
+#include "util/require.h"
+
+namespace choreo::place {
+
+void PlacementConstraints::validate(std::size_t task_count) const {
+  for (const auto& [a, b] : separate) {
+    CHOREO_REQUIRE(a < task_count && b < task_count);
+    CHOREO_REQUIRE(a != b);
+  }
+  for (const LatencyBound& l : latency) {
+    CHOREO_REQUIRE(l.a < task_count && l.b < task_count);
+    CHOREO_REQUIRE(l.a != l.b);
+    CHOREO_REQUIRE(l.max_hops >= 1);
+  }
+  for (const auto& [task, machine] : pinned) {
+    CHOREO_REQUIRE(task < task_count);
+    (void)machine;  // machine range depends on the cluster; checked at use
+  }
+}
+
+namespace {
+
+/// Hop distance between machines as the tenant knows it; same machine is 0
+/// (strictly closer than same-host neighbours at 1).
+std::size_t machine_hops(const ClusterView& view, std::size_t m, std::size_t n) {
+  if (m == n) return 0;
+  CHOREO_REQUIRE_MSG(!view.hops.empty(),
+                     "latency constraints need ClusterView::hops (traceroute data)");
+  return static_cast<std::size_t>(view.hops(m, n));
+}
+
+}  // namespace
+
+bool assignment_allowed(const PlacementConstraints& constraints, const ClusterView& view,
+                        const Placement& placement, std::size_t task,
+                        std::size_t machine) {
+  const auto it = constraints.pinned.find(task);
+  if (it != constraints.pinned.end() && it->second != machine) return false;
+
+  const auto placed = [&](std::size_t t) {
+    return t < placement.machine_of_task.size() &&
+           placement.machine_of_task[t] != kUnplaced;
+  };
+
+  for (const auto& [a, b] : constraints.separate) {
+    if (a != task && b != task) continue;
+    const std::size_t other = (a == task) ? b : a;
+    if (!placed(other)) continue;
+    const std::size_t om = placement.machine_of_task[other];
+    if (om == machine || view.colocated(om, machine)) return false;
+  }
+  for (const PlacementConstraints::LatencyBound& l : constraints.latency) {
+    if (l.a != task && l.b != task) continue;
+    const std::size_t other = (l.a == task) ? l.b : l.a;
+    if (!placed(other)) continue;
+    if (machine_hops(view, placement.machine_of_task[other], machine) > l.max_hops) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies_constraints(const PlacementConstraints& constraints,
+                           const ClusterView& view, const Placement& placement) {
+  for (const auto& [task, machine] : constraints.pinned) {
+    if (placement.machine_of_task[task] != machine) return false;
+  }
+  for (const auto& [a, b] : constraints.separate) {
+    const std::size_t ma = placement.machine_of_task[a];
+    const std::size_t mb = placement.machine_of_task[b];
+    if (ma == mb || view.colocated(ma, mb)) return false;
+  }
+  for (const PlacementConstraints::LatencyBound& l : constraints.latency) {
+    const std::size_t ma = placement.machine_of_task[l.a];
+    const std::size_t mb = placement.machine_of_task[l.b];
+    if (machine_hops(view, ma, mb) > l.max_hops) return false;
+  }
+  return true;
+}
+
+}  // namespace choreo::place

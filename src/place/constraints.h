@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace choreo::place {
+
+struct Application;  // forward (app.h includes this header)
+struct ClusterView;
+struct Placement;
+
+/// Optional per-application placement constraints — the Conclusion's "some
+/// of the tasks could be specified as 'latency-constrained', or certain
+/// tasks could be specified as being placed 'far apart' for fault tolerance
+/// purposes", formulated as in the companion tech report [20].
+///
+/// The network-aware placers (greedy, ILP, brute force) honour these; the
+/// network-blind baselines ignore them, exactly as they ignore the network.
+struct PlacementConstraints {
+  /// Fault tolerance: each pair must land on machines in *different*
+  /// co-location groups (distinct physical hosts).
+  std::vector<std::pair<std::size_t, std::size_t>> separate;
+
+  /// Latency: the two tasks' machines must be at most `max_hops` apart
+  /// (1 = same physical host, 2 = same rack, ... — the traceroute scale of
+  /// §3.3.1). Requires ClusterView::hops to be populated.
+  struct LatencyBound {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    std::size_t max_hops = 2;
+  };
+  std::vector<LatencyBound> latency;
+
+  /// Data locality: task -> machine it must run on.
+  std::map<std::size_t, std::size_t> pinned;
+
+  bool empty() const { return separate.empty() && latency.empty() && pinned.empty(); }
+
+  /// Structural validation against an application with `task_count` tasks.
+  void validate(std::size_t task_count) const;
+};
+
+/// True if assigning `task` to `machine` is compatible with every constraint
+/// whose other endpoint is already decided in `placement` (undecided
+/// endpoints are permissive — they get checked when they are placed).
+bool assignment_allowed(const PlacementConstraints& constraints, const ClusterView& view,
+                        const Placement& placement, std::size_t task,
+                        std::size_t machine);
+
+/// True if the complete placement satisfies every constraint.
+bool satisfies_constraints(const PlacementConstraints& constraints,
+                           const ClusterView& view, const Placement& placement);
+
+}  // namespace choreo::place

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "place/placer.h"
+#include "place/rate_model.h"
+
+namespace choreo::place {
+
+/// Algorithm 1: greedy network-aware placement.
+///
+/// Transfers are visited in descending byte order; each is placed on the
+/// residual-fastest machine path, where intra-machine "paths" have
+/// essentially infinite rate — so heavy task pairs gravitate onto one
+/// machine when CPU allows, and otherwise onto the fastest measured paths.
+/// Rates account for transfers already placed (this application's and any
+/// previously committed ones) under the configured rate model.
+class GreedyPlacer : public Placer {
+ public:
+  explicit GreedyPlacer(RateModel model = RateModel::Hose) : model_(model) {}
+
+  std::string name() const override { return std::string("choreo-greedy-") + to_string(model_); }
+
+  Placement place(const Application& app, const ClusterState& state) override;
+
+ private:
+  RateModel model_;
+};
+
+}  // namespace choreo::place

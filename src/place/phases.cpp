@@ -1,0 +1,107 @@
+#include "place/phases.h"
+
+#include "place/greedy.h"
+#include "util/require.h"
+
+namespace choreo::place {
+
+void PhasedApplication::validate() const {
+  CHOREO_REQUIRE(!cpu_demand.empty());
+  CHOREO_REQUIRE(!phase_traffic.empty());
+  for (const DoubleMatrix& m : phase_traffic) {
+    CHOREO_REQUIRE(m.rows() == cpu_demand.size() && m.cols() == cpu_demand.size());
+  }
+  for (double c : cpu_demand) CHOREO_REQUIRE(c > 0.0);
+}
+
+Application PhasedApplication::phase(std::size_t index) const {
+  CHOREO_REQUIRE(index < phase_traffic.size());
+  Application app;
+  app.name = name + "#phase" + std::to_string(index);
+  app.cpu_demand = cpu_demand;
+  app.traffic_bytes = phase_traffic[index];
+  return app;
+}
+
+Application PhasedApplication::aggregate() const {
+  validate();
+  Application app;
+  app.name = name + "#aggregate";
+  app.cpu_demand = cpu_demand;
+  app.traffic_bytes = DoubleMatrix(task_count(), task_count(), 0.0);
+  for (const DoubleMatrix& m : phase_traffic) {
+    for (std::size_t i = 0; i < task_count(); ++i) {
+      for (std::size_t j = 0; j < task_count(); ++j) {
+        app.traffic_bytes(i, j) += m(i, j);
+      }
+    }
+  }
+  return app;
+}
+
+namespace {
+
+std::size_t moved_tasks(const Placement& a, const Placement& b) {
+  std::size_t moved = 0;
+  for (std::size_t t = 0; t < a.machine_of_task.size(); ++t) {
+    if (a.machine_of_task[t] != b.machine_of_task[t]) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace
+
+PhasedPlan plan_phases(const PhasedApplication& app, const ClusterState& state,
+                       RateModel model, double migration_cost_per_task_s) {
+  app.validate();
+  CHOREO_REQUIRE(migration_cost_per_task_s >= 0.0);
+  GreedyPlacer greedy(model);
+
+  PhasedPlan plan;
+  for (std::size_t k = 0; k < app.phase_count(); ++k) {
+    const Application phase_app = app.phase(k);
+    const Placement fresh = greedy.place(phase_app, state);
+    if (k == 0) {
+      plan.placements.push_back(fresh);
+      plan.estimated_completion_s +=
+          estimate_completion_s(phase_app, fresh, state.view(), model);
+      continue;
+    }
+    // Migrate into this phase only if the phase-time gain beats the cost.
+    const Placement& prev = plan.placements.back();
+    const double keep_time =
+        estimate_completion_s(phase_app, prev, state.view(), model);
+    const double fresh_time =
+        estimate_completion_s(phase_app, fresh, state.view(), model);
+    const std::size_t moved = moved_tasks(prev, fresh);
+    const double migration_cost = static_cast<double>(moved) * migration_cost_per_task_s;
+    if (moved > 0 && keep_time - fresh_time > migration_cost) {
+      plan.placements.push_back(fresh);
+      plan.migrations.push_back(moved);
+      plan.estimated_completion_s += fresh_time + migration_cost;
+    } else {
+      plan.placements.push_back(prev);
+      plan.migrations.push_back(0);
+      plan.estimated_completion_s += keep_time;
+    }
+  }
+  return plan;
+}
+
+PhasedPlan plan_aggregate(const PhasedApplication& app, const ClusterState& state,
+                          RateModel model) {
+  app.validate();
+  GreedyPlacer greedy(model);
+  const Placement placement = greedy.place(app.aggregate(), state);
+
+  PhasedPlan plan;
+  for (std::size_t k = 0; k < app.phase_count(); ++k) {
+    plan.placements.push_back(placement);
+    if (k > 0) plan.migrations.push_back(0);
+    plan.estimated_completion_s +=
+        estimate_completion_s(app.phase(k), placement, state.view(), model);
+  }
+  return plan;
+}
+
+}  // namespace choreo::place

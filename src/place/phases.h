@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "place/app.h"
+#include "place/cluster.h"
+#include "place/rate_model.h"
+
+namespace choreo::place {
+
+/// §7.2: "Choreo could capture [time variation] by modeling applications as
+/// a time series of traffic matrices ... A straw-man approach is to
+/// determine the 'major' phases of an application's bandwidth usage, and use
+/// Choreo as-is at the beginning of each phase."
+///
+/// A PhasedApplication is one application whose communication pattern
+/// changes across sequential phases (e.g., ingest -> shuffle -> reduce).
+/// Tasks and CPU demands are fixed; the traffic matrix differs per phase,
+/// and a phase begins when the previous one completes.
+struct PhasedApplication {
+  std::string name;
+  std::vector<double> cpu_demand;
+  std::vector<DoubleMatrix> phase_traffic;
+
+  std::size_t task_count() const { return cpu_demand.size(); }
+  std::size_t phase_count() const { return phase_traffic.size(); }
+
+  /// The phase as a standalone placeable application.
+  Application phase(std::size_t index) const;
+
+  /// What vanilla Choreo sees: all phases folded into one total-bytes matrix
+  /// (the paper notes this "loses information about how an application
+  /// changes over time").
+  Application aggregate() const;
+
+  void validate() const;
+};
+
+/// Result of planning a phased application.
+struct PhasedPlan {
+  /// One placement per phase (identical placements mean no migration).
+  std::vector<Placement> placements;
+  /// Tasks whose machine changes at each phase boundary (size = phases - 1).
+  std::vector<std::size_t> migrations;
+  /// Analytic completion estimate: sum of per-phase drain times plus
+  /// migration downtime.
+  double estimated_completion_s = 0.0;
+};
+
+/// The straw-man: place each phase with the greedy algorithm as if it were a
+/// fresh application, starting from the same cluster occupancy, and migrate
+/// between phases when the per-phase gain beats `migration_cost_per_task_s`.
+/// If migrating into a phase is not worthwhile, the previous phase's
+/// placement is kept.
+PhasedPlan plan_phases(const PhasedApplication& app, const ClusterState& state,
+                       RateModel model, double migration_cost_per_task_s);
+
+/// Baseline for comparison: one aggregate placement used for every phase.
+PhasedPlan plan_aggregate(const PhasedApplication& app, const ClusterState& state,
+                          RateModel model);
+
+}  // namespace choreo::place

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "place/app.h"
+#include "place/cluster.h"
+
+namespace choreo::place {
+
+/// Thrown when no CPU-feasible placement exists for an application.
+class PlacementError : public std::runtime_error {
+ public:
+  explicit PlacementError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Interface of all placement algorithms. Implementations may keep internal
+/// state across calls (e.g., round-robin position, RNG), which is why
+/// `place` is non-const. They never mutate the ClusterState — committing a
+/// placement is the caller's decision.
+class Placer {
+ public:
+  virtual ~Placer() = default;
+  virtual std::string name() const = 0;
+
+  /// Maps every task of `app` to a machine, honouring CPU constraints.
+  /// Throws PlacementError if no feasible assignment can be found.
+  virtual Placement place(const Application& app, const ClusterState& state) = 0;
+};
+
+}  // namespace choreo::place

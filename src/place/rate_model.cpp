@@ -1,0 +1,103 @@
+#include "place/rate_model.h"
+
+#include <algorithm>
+
+namespace choreo::place {
+
+double transfer_rate_bps(const ClusterView& view, std::size_t m, std::size_t n,
+                         RateModel model, double placed_on_path,
+                         double placed_out_of_src) {
+  CHOREO_REQUIRE(m < view.machine_count() && n < view.machine_count());
+  if (m == n) return kIntraMachineRate;
+
+  if (view.colocated(m, n)) {
+    // Same physical host: the transfer rides the virtual switch, not the
+    // hose; it shares the path with transfers already on it.
+    return view.rate_bps(m, n) / (placed_on_path + 1.0);
+  }
+
+  switch (model) {
+    case RateModel::Pipe: {
+      const double c = view.cross_traffic.empty() ? 0.0 : view.cross_traffic(m, n);
+      return view.path_capacity_bps(m, n) / (c + placed_on_path + 1.0);
+    }
+    case RateModel::Hose: {
+      double c_out = 0.0;
+      if (!view.cross_traffic.empty()) {
+        // The hose is shared with whatever background the busiest path out
+        // of m reports.
+        for (std::size_t k = 0; k < view.machine_count(); ++k) {
+          if (k != m && !view.colocated(m, k)) {
+            c_out = std::max(c_out, view.cross_traffic(m, k));
+          }
+        }
+      }
+      // The transfer cannot exceed the measured single-connection rate of
+      // this particular path (the fabric or the destination may be slower
+      // than the source hose), and it shares the hose with everything else
+      // leaving m.
+      return std::min(view.rate_bps(m, n),
+                      view.hose_bps(m) / (c_out + placed_out_of_src + 1.0));
+    }
+  }
+  CHOREO_ASSERT(false);
+  return 0.0;
+}
+
+double transfer_rate_bps(const ClusterState& state, std::size_t m, std::size_t n,
+                         RateModel model) {
+  return transfer_rate_bps(state.view(), m, n, model, state.transfers_on_path(m, n),
+                           state.transfers_out_of(m));
+}
+
+double estimate_completion_s(const Application& app, const Placement& placement,
+                             const ClusterView& view, RateModel model) {
+  app.validate();
+  CHOREO_REQUIRE(placement.machine_of_task.size() == app.task_count());
+  CHOREO_REQUIRE(placement.complete());
+  const std::size_t M = view.machine_count();
+
+  // Aggregate bytes per machine path.
+  DoubleMatrix data(M, M, 0.0);
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      const double b = app.traffic_bytes(i, j);
+      if (b <= 0.0) continue;
+      const std::size_t m = placement.machine_of_task[i];
+      const std::size_t n = placement.machine_of_task[j];
+      if (m == n) continue;  // intra-machine is free
+      data(m, n) += b;
+    }
+  }
+
+  double worst = 0.0;
+  if (model == RateModel::Pipe) {
+    for (std::size_t m = 0; m < M; ++m) {
+      for (std::size_t n = 0; n < M; ++n) {
+        if (m == n || data(m, n) <= 0.0) continue;
+        worst = std::max(worst, data(m, n) * 8.0 / view.rate_bps(m, n));
+      }
+    }
+    return worst;
+  }
+
+  // Hose model: everything leaving machine m for another host drains through
+  // m's hose; colocated-destination traffic drains through the vswitch path.
+  // Each individual path additionally cannot drain faster than its measured
+  // single-connection rate (slow fabric paths stay slow even on an idle
+  // hose).
+  for (std::size_t m = 0; m < M; ++m) {
+    double hose_bytes = 0.0;
+    for (std::size_t n = 0; n < M; ++n) {
+      if (m == n || data(m, n) <= 0.0) continue;
+      worst = std::max(worst, data(m, n) * 8.0 / view.rate_bps(m, n));
+      if (!view.colocated(m, n)) hose_bytes += data(m, n);
+    }
+    if (hose_bytes > 0.0) {
+      worst = std::max(worst, hose_bytes * 8.0 / view.hose_bps(m));
+    }
+  }
+  return worst;
+}
+
+}  // namespace choreo::place

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "place/cluster.h"
+
+namespace choreo::place {
+
+/// Rate treated as "essentially infinite" for intra-machine transfers (§5).
+inline constexpr double kIntraMachineRate = 1e15;
+
+/// Rate a *new* transfer from machine m to machine n would see, given
+/// everything already placed in `state` plus `extra_own` transfers the
+/// current algorithm has tentatively routed the same way (Algorithm 1,
+/// line 13):
+///
+///   * m == n: intra-machine, effectively infinite;
+///   * colocated pair: the vswitch path, shared with transfers on it;
+///   * Pipe model: the path's capacity R*(c+1), shared with the measured
+///     cross traffic c and all transfers placed on m->n;
+///   * Hose model: machine m's hose, shared with the cross traffic out of m
+///     and all transfers placed out of m.
+double transfer_rate_bps(const ClusterView& view, std::size_t m, std::size_t n,
+                         RateModel model, double placed_on_path, double placed_out_of_src);
+
+/// Convenience overload reading the placed-transfer counts from `state`.
+double transfer_rate_bps(const ClusterState& state, std::size_t m, std::size_t n,
+                         RateModel model);
+
+/// Analytic completion time (seconds) of `app` under `placement` — the
+/// objective the Appendix formulates: the longest drain time over all
+/// bottlenecks, assuming no unknown cross traffic. Pipe model: bottlenecks
+/// are paths; hose model: bottlenecks are per-source hoses (plus vswitch
+/// paths between colocated machines).
+double estimate_completion_s(const Application& app, const Placement& placement,
+                             const ClusterView& view, RateModel model);
+
+}  // namespace choreo::place

@@ -1,0 +1,89 @@
+#include "util/args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace choreo {
+
+void Args::add_option(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  CHOREO_REQUIRE(!name.empty());
+  CHOREO_REQUIRE_MSG(!specs_.count(name), "duplicate option --" << name);
+  specs_[name] = Spec{default_value, help, false};
+}
+
+void Args::add_flag(const std::string& name, const std::string& help) {
+  CHOREO_REQUIRE(!name.empty());
+  CHOREO_REQUIRE_MSG(!specs_.count(name), "duplicate flag --" << name);
+  specs_[name] = Spec{"", help, true};
+}
+
+void Args::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    const auto it = specs_.find(name);
+    CHOREO_REQUIRE_MSG(it != specs_.end(), "unknown option --" << name);
+    if (it->second.is_flag) {
+      values_[name] = "1";
+    } else {
+      CHOREO_REQUIRE_MSG(i + 1 < argc, "option --" << name << " needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+std::string Args::get(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  CHOREO_REQUIRE_MSG(spec != specs_.end(), "undeclared option --" << name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+double Args::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  CHOREO_REQUIRE_MSG(end != nullptr && *end == '\0' && !v.empty(),
+                     "option --" << name << " expects a number, got '" << v << "'");
+  return out;
+}
+
+std::int64_t Args::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  CHOREO_REQUIRE_MSG(end != nullptr && *end == '\0' && !v.empty(),
+                     "option --" << name << " expects an integer, got '" << v << "'");
+  return out;
+}
+
+bool Args::get_flag(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  CHOREO_REQUIRE_MSG(spec != specs_.end() && spec->second.is_flag,
+                     "undeclared flag --" << name);
+  return values_.count(name) > 0;
+}
+
+std::string Args::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << " <value>";
+    os << "  " << spec.help;
+    if (!spec.is_flag && !spec.default_value.empty()) {
+      os << " (default: " << spec.default_value << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace choreo

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace choreo {
+
+/// Minimal command-line parser for the example/driver binaries:
+/// `--name value` options and bare `--flag` switches, with typed accessors,
+/// defaults, and generated usage text. Unknown options throw, so typos in
+/// experiment scripts fail loudly instead of silently using defaults.
+class Args {
+ public:
+  /// Declares an option before parsing; `help` feeds usage().
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws PreconditionError on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional arguments (everything not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace choreo

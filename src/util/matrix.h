@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/require.h"
+
+namespace choreo {
+
+/// Dense row-major matrix. Used for traffic matrices (bytes task->task) and
+/// network rate matrices (bits/s machine->machine).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Square convenience constructor.
+  explicit Matrix(std::size_t n, T fill = T{}) : Matrix(n, n, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    CHOREO_REQUIRE(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    CHOREO_REQUIRE(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Sum of all entries.
+  T total() const {
+    T sum{};
+    for (const T& v : data_) sum += v;
+    return sum;
+  }
+
+  /// Sum of row r (total egress of task r for a traffic matrix).
+  T row_sum(std::size_t r) const {
+    CHOREO_REQUIRE(r < rows_);
+    T sum{};
+    for (std::size_t c = 0; c < cols_; ++c) sum += data_[r * cols_ + c];
+    return sum;
+  }
+
+  /// Sum of column c (total ingress of task c for a traffic matrix).
+  T col_sum(std::size_t c) const {
+    CHOREO_REQUIRE(c < cols_);
+    T sum{};
+    for (std::size_t r = 0; r < rows_; ++r) sum += data_[r * cols_ + c];
+    return sum;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using DoubleMatrix = Matrix<double>;
+
+}  // namespace choreo

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace choreo {
+
+/// Thrown when a precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file, int line,
+                                        const std::string& message) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace choreo
+
+/// Validates a caller-supplied precondition; throws PreconditionError on failure.
+#define CHOREO_REQUIRE(expr)                                                 \
+  do {                                                                       \
+    if (!(expr)) ::choreo::detail::fail_require(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CHOREO_REQUIRE_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::choreo::detail::fail_require(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (0)
+
+/// Checks an internal invariant; throws InvariantError on failure.
+#define CHOREO_ASSERT(expr)                                                    \
+  do {                                                                         \
+    if (!(expr)) ::choreo::detail::fail_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CHOREO_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::choreo::detail::fail_invariant(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                    \
+  } while (0)

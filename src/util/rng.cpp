@@ -1,0 +1,24 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace choreo {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  CHOREO_REQUIRE(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CHOREO_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  CHOREO_REQUIRE_MSG(total > 0.0, "weights must not all be zero");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // numerical edge: fell off the end
+}
+
+}  // namespace choreo

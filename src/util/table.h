@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace choreo {
+
+/// Fixed-width text table used by bench binaries to print the rows/series the
+/// paper's figures and in-text tables report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; the row must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns.
+  std::string to_string() const;
+
+  /// Comma-separated rendering (for piping into plotting tools).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 2);
+
+/// Formats as a percentage, e.g. fmt_pct(0.0835) == "8.35%".
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace choreo

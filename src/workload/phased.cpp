@@ -1,0 +1,42 @@
+#include "workload/phased.h"
+
+#include "util/require.h"
+
+namespace choreo::workload {
+
+place::PhasedApplication generate_phased_app(Rng& rng, const PhasedConfig& config) {
+  CHOREO_REQUIRE(config.min_phases >= 1 && config.min_phases <= config.max_phases);
+  const std::size_t phases = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config.min_phases),
+      static_cast<std::int64_t>(config.max_phases)));
+
+  // The first phase fixes the task count and CPU demands; later phases are
+  // fresh patterns re-fitted onto the same task set.
+  GeneratorConfig gen = config.gen;
+  place::Application first = generate_app(rng, gen);
+  place::PhasedApplication out;
+  out.name = "phased-" + first.name;
+  out.cpu_demand = first.cpu_demand;
+  out.phase_traffic.push_back(first.traffic_bytes);
+
+  gen.min_tasks = gen.max_tasks = first.task_count();
+  for (std::size_t k = 1; k < phases; ++k) {
+    place::Application next = generate_app(rng, gen);
+    CHOREO_ASSERT(next.task_count() == out.task_count());
+    // Random task relabelling so phase hotspots move between tasks.
+    std::vector<std::size_t> perm(out.task_count());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    rng.shuffle(perm);
+    DoubleMatrix relabelled(out.task_count(), out.task_count(), 0.0);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      for (std::size_t j = 0; j < perm.size(); ++j) {
+        relabelled(perm[i], perm[j]) = next.traffic_bytes(i, j);
+      }
+    }
+    out.phase_traffic.push_back(std::move(relabelled));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace choreo::workload

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "place/phases.h"
+#include "workload/generator.h"
+
+namespace choreo::workload {
+
+struct PhasedConfig {
+  std::size_t min_phases = 2;
+  std::size_t max_phases = 4;
+  GeneratorConfig gen;
+};
+
+/// Generates a §7.2-style multi-phase application: a fixed task set whose
+/// traffic matrix changes per phase. Phase patterns are drawn independently
+/// (e.g., an ingest star, then a shuffle, then a gather), which is what
+/// makes a single aggregate placement a compromise across phases.
+place::PhasedApplication generate_phased_app(Rng& rng, const PhasedConfig& config);
+
+}  // namespace choreo::workload

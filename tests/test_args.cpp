@@ -1,0 +1,94 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace choreo {
+namespace {
+
+Args standard() {
+  Args args;
+  args.add_option("vms", "10", "VM count");
+  args.add_option("rate", "1.5", "some rate");
+  args.add_flag("verbose", "chatty output");
+  return args;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> items) {
+  return std::vector<const char*>(items);
+}
+
+TEST(Args, DefaultsApply) {
+  Args args = standard();
+  const auto argv = argv_of({"prog"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get("vms"), "10");
+  EXPECT_EQ(args.get_int("vms"), 10);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 1.5);
+  EXPECT_FALSE(args.get_flag("verbose"));
+}
+
+TEST(Args, ParsesOptionsAndFlags) {
+  Args args = standard();
+  const auto argv = argv_of({"prog", "--vms", "25", "--verbose", "--rate", "0.25"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("vms"), 25);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.25);
+  EXPECT_TRUE(args.get_flag("verbose"));
+}
+
+TEST(Args, PositionalArguments) {
+  Args args = standard();
+  const auto argv = argv_of({"prog", "input.txt", "--vms", "3", "more"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(Args, UnknownOptionThrows) {
+  Args args = standard();
+  const auto argv = argv_of({"prog", "--bogus", "1"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()), PreconditionError);
+}
+
+TEST(Args, MissingValueThrows) {
+  Args args = standard();
+  const auto argv = argv_of({"prog", "--vms"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()), PreconditionError);
+}
+
+TEST(Args, BadNumberThrows) {
+  Args args = standard();
+  const auto argv = argv_of({"prog", "--vms", "ten"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(args.get_int("vms"), PreconditionError);
+  EXPECT_EQ(args.get("vms"), "ten");  // raw access still works
+}
+
+TEST(Args, UndeclaredAccessThrows) {
+  Args args = standard();
+  const auto argv = argv_of({"prog"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(args.get("nope"), PreconditionError);
+  EXPECT_THROW(args.get_flag("vms"), PreconditionError);  // not a flag
+}
+
+TEST(Args, DuplicateDeclarationThrows) {
+  Args args;
+  args.add_option("x", "1", "");
+  EXPECT_THROW(args.add_option("x", "2", ""), PreconditionError);
+  EXPECT_THROW(args.add_flag("x", ""), PreconditionError);
+}
+
+TEST(Args, UsageListsEverything) {
+  const Args args = standard();
+  const std::string u = args.usage("prog");
+  EXPECT_NE(u.find("--vms"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+  EXPECT_NE(u.find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace choreo

@@ -1,0 +1,100 @@
+// §3.3.2 generalization: rack clustering from traceroute and all-pairs
+// interference prediction, validated against actual concurrent probes on the
+// emulated cloud.
+
+#include <gtest/gtest.h>
+
+#include "measure/bottleneck.h"
+#include "util/rng.h"
+
+namespace choreo::measure {
+namespace {
+
+TEST(RackClustering, GroupsMatchGroundTruth) {
+  cloud::ProviderProfile profile = cloud::ec2_2013();
+  profile.colocate_prob = 0.3;  // ensure some same-host and same-rack pairs
+  cloud::Cloud c(profile, 91);
+  const auto vms = c.allocate_vms(12);
+  const std::vector<int> rack = cluster_by_rack(c, vms);
+  ASSERT_EQ(rack.size(), vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    for (std::size_t j = 0; j < vms.size(); ++j) {
+      if (i == j) continue;
+      const bool same_rack_truth =
+          c.topology().node(c.vm_host(vms[i])).rack ==
+          c.topology().node(c.vm_host(vms[j])).rack;
+      EXPECT_EQ(rack[i] == rack[j], same_rack_truth)
+          << "vm pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(RackClustering, SingletonGroupsWhenSpread) {
+  cloud::ProviderProfile profile = cloud::ec2_2013();
+  profile.colocate_prob = 0.0;
+  cloud::Cloud c(profile, 17);
+  const auto vms = c.allocate_vms(6);
+  const std::vector<int> rack = cluster_by_rack(c, vms);
+  // With 240 hosts and 6 VMs, same-rack collisions are unlikely but allowed;
+  // groups must at minimum be internally consistent (checked above). Here we
+  // simply require a sane id range.
+  for (int g : rack) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, static_cast<int>(vms.size()));
+  }
+}
+
+TEST(InterferencePredictionTest, SourceHoseMatchesProbes) {
+  // On a hose-model cloud, prediction with BottleneckSite::SourceHose must
+  // match actual concurrent-probe interference for a sample of path pairs.
+  cloud::Cloud c(cloud::ec2_2013(), 33);
+  const auto vms = c.allocate_vms(8);
+  const InterferencePrediction pred =
+      predict_all_interference(c, vms, BottleneckSite::SourceHose);
+
+  Rng rng(5);
+  std::size_t checked = 0, agreed = 0;
+  for (int trial = 0; trial < 25 && checked < 15; ++trial) {
+    const std::size_t p = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pred.paths.size()) - 1));
+    const std::size_t q = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pred.paths.size()) - 1));
+    if (p == q) continue;
+    const auto [a, b] = pred.paths[p];
+    const auto [cc, d] = pred.paths[q];
+    // Skip overlapping endpoints other than the same-source case the rule
+    // covers, and skip same-host paths (vswitch, not hose).
+    if (b == cc || b == d || a == d) continue;
+    if (c.vm_host(a) == c.vm_host(b) || c.vm_host(cc) == c.vm_host(d)) continue;
+    const InterferenceProbe probe =
+        probe_interference(c, a, b, cc, d, 3.0, 0.25, 1000 + trial);
+    ++checked;
+    if (probe.interferes == pred.interferes[p][q]) ++agreed;
+  }
+  ASSERT_GE(checked, 10u);
+  // The prediction is conservative but on a pure hose cloud it should agree
+  // almost always.
+  EXPECT_GE(agreed, checked - 1);
+}
+
+TEST(InterferencePredictionTest, TorRuleIsBroaderThanHoseRule) {
+  cloud::ProviderProfile profile = cloud::ec2_2013();
+  profile.colocate_prob = 0.4;  // same racks occur
+  cloud::Cloud c(profile, 47);
+  const auto vms = c.allocate_vms(10);
+  const auto hose = predict_all_interference(c, vms, BottleneckSite::SourceHose);
+  const auto tor = predict_all_interference(c, vms, BottleneckSite::TorUplink);
+  std::size_t hose_count = 0, tor_count = 0;
+  for (std::size_t p = 0; p < hose.paths.size(); ++p) {
+    for (std::size_t q = 0; q < hose.paths.size(); ++q) {
+      hose_count += hose.interferes[p][q];
+      tor_count += tor.interferes[p][q];
+      // Rule 1 subsumes the same-source case.
+      if (hose.interferes[p][q]) EXPECT_TRUE(tor.interferes[p][q]);
+    }
+  }
+  EXPECT_GE(tor_count, hose_count);
+}
+
+}  // namespace
+}  // namespace choreo::measure

@@ -1,0 +1,141 @@
+// Statistical checks on the emulated providers: the distributions the cloud
+// layer is calibrated to produce (DESIGN.md section 2) — hose-rate mixture
+// fractions, co-location rates, hop-count histograms — stay within their
+// bands. These tests pin the Fig 1/2/8 substrate so a profile tweak that
+// would silently invalidate those figures fails here first.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cloud/cloud.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace choreo::cloud {
+namespace {
+
+using units::mbps;
+
+TEST(Ec2Distribution, HoseMixtureFractions) {
+  Cloud cloud(ec2_2013(), 1234);
+  const auto vms = cloud.allocate_vms(400);
+  std::size_t band_900_1100 = 0, slow = 0, fast = 0;
+  for (VmId vm : vms) {
+    const double r = cloud.vm_hose_bps(vm);
+    if (r >= mbps(900) && r <= mbps(1160)) {
+      ++band_900_1100;
+    } else if (r < mbps(900)) {
+      ++slow;
+    } else {
+      ++fast;
+    }
+  }
+  const double n = static_cast<double>(vms.size());
+  // Calibration: ~81% in the two knees, ~19% slow band, ~1% unthrottled.
+  EXPECT_NEAR(band_900_1100 / n, 0.80, 0.07);
+  EXPECT_NEAR(slow / n, 0.19, 0.07);
+  EXPECT_LT(fast / n, 0.04);
+}
+
+TEST(Ec2Distribution, KneesAt950And1100) {
+  Cloud cloud(ec2_2013(), 99);
+  const auto vms = cloud.allocate_vms(600);
+  std::size_t knee_low = 0, knee_high = 0;
+  for (VmId vm : vms) {
+    const double r = cloud.vm_hose_bps(vm);
+    if (r >= mbps(880) && r <= mbps(990)) ++knee_low;
+    if (r >= mbps(1030) && r <= mbps(1160)) ++knee_high;
+  }
+  // Both knees populated, the lower one more heavily (0.50 vs 0.31 weights).
+  EXPECT_GT(knee_low, knee_high);
+  EXPECT_GT(knee_high, 100u);
+}
+
+TEST(Ec2Distribution, ColocationRateNearOnePercentOfPairs) {
+  // Across many 10-VM tenants, same-host pairs ~1-3% of pairs (paper: 18/1710).
+  std::size_t colocated_pairs = 0, total_pairs = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Cloud cloud(ec2_2013(), 5000 + seed);
+    const auto vms = cloud.allocate_vms(10);
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      for (std::size_t j = i + 1; j < vms.size(); ++j) {
+        ++total_pairs;
+        if (cloud.vm_host(vms[i]) == cloud.vm_host(vms[j])) ++colocated_pairs;
+      }
+    }
+  }
+  const double frac = static_cast<double>(colocated_pairs) / static_cast<double>(total_pairs);
+  EXPECT_GT(frac, 0.002);
+  EXPECT_LT(frac, 0.06);
+}
+
+TEST(Ec2Distribution, HopHistogramDominatedByLongPaths) {
+  Cloud cloud(ec2_2013(), 77);
+  const auto vms = cloud.allocate_vms(40);
+  std::map<std::size_t, std::size_t> histogram;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    for (std::size_t j = i + 1; j < vms.size(); ++j) {
+      ++histogram[cloud.traceroute_hops(vms[i], vms[j])];
+    }
+  }
+  // "Many of the paths are more than one or two hops" (§4.2).
+  std::size_t short_paths = histogram[1] + histogram[2];
+  std::size_t long_paths = histogram[4] + histogram[6] + histogram[8];
+  EXPECT_GT(long_paths, short_paths * 5);
+  EXPECT_GT(histogram[8], 0u);  // cross-region paths exist
+}
+
+TEST(RackspaceDistribution, HoseSpikeAt300) {
+  Cloud cloud(rackspace(), 42);
+  const auto vms = cloud.allocate_vms(200);
+  std::vector<double> rates;
+  for (VmId vm : vms) rates.push_back(cloud.vm_hose_bps(vm));
+  const Summary s = summarize(rates);
+  EXPECT_NEAR(s.mean, mbps(300), mbps(1));
+  EXPECT_LT(s.stddev, mbps(3));
+}
+
+TEST(LegacyEc2Distribution, WideSpreadNoMultiGig) {
+  Cloud cloud(ec2_2012(), 7);
+  const auto vms = cloud.allocate_vms(300);
+  std::vector<double> rates;
+  for (VmId vm : vms) rates.push_back(cloud.vm_hose_bps(vm));
+  const Summary s = summarize(rates);
+  EXPECT_LT(s.p05, mbps(300));   // deep slow tail (Fig 1)
+  EXPECT_GT(s.p95, mbps(750));
+  EXPECT_LT(s.max, mbps(1300));  // no 4G outliers in the 2012 data
+}
+
+TEST(Providers, PingRttScalesWithDistance) {
+  Cloud cloud(ec2_2013(), 21);
+  const auto vms = cloud.allocate_vms(40);
+  // Find a same-rack pair and a cross-region pair.
+  double near_rtt = -1.0, far_rtt = -1.0;
+  for (std::size_t i = 0; i < vms.size() && (near_rtt < 0 || far_rtt < 0); ++i) {
+    for (std::size_t j = i + 1; j < vms.size(); ++j) {
+      const std::size_t hops = cloud.traceroute_hops(vms[i], vms[j]);
+      if (hops == 2 && near_rtt < 0) near_rtt = cloud.ping_rtt_s(vms[i], vms[j]);
+      if (hops == 8 && far_rtt < 0) far_rtt = cloud.ping_rtt_s(vms[i], vms[j]);
+    }
+  }
+  ASSERT_GT(near_rtt, 0.0);
+  ASSERT_GT(far_rtt, 0.0);
+  EXPECT_GT(far_rtt, near_rtt);
+}
+
+TEST(Providers, MeasurementNoiseIsSmallAndUnbiased) {
+  Cloud cloud(rackspace(), 11);
+  const auto vms = cloud.allocate_vms(4);
+  if (cloud.vm_host(vms[0]) == cloud.vm_host(vms[1])) GTEST_SKIP();
+  Accumulator acc;
+  for (int k = 0; k < 40; ++k) {
+    acc.add(cloud.netperf_bps(vms[0], vms[1], 2.0, 50 + k));
+  }
+  const double truth = cloud.true_path_rate_bps(vms[0], vms[1], 50);
+  EXPECT_NEAR(acc.mean(), truth, truth * 0.01);
+  EXPECT_LT(acc.stddev(), truth * 0.01);
+}
+
+}  // namespace
+}  // namespace choreo::cloud

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "place/baselines.h"
+#include "place/constraints.h"
+#include "place/greedy.h"
+#include "place/ilp.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace choreo::place {
+namespace {
+
+using units::gbps;
+using units::mbps;
+
+/// 4 machines: {0,1} share host A (2 hops to each other would be wrong — 1),
+/// {2,3} are lone hosts. Hop counts: colocated 1, same rack 2, else 4.
+ClusterView constrained_view() {
+  ClusterView view;
+  const std::size_t M = 4;
+  view.rate_bps = DoubleMatrix(M, M, gbps(1));
+  view.cross_traffic = DoubleMatrix(M, M, 0.0);
+  view.cores.assign(M, 4.0);
+  view.colocation_group = {0, 0, 1, 2};
+  view.hops = DoubleMatrix(M, M, 4.0);
+  auto set_hops = [&](std::size_t a, std::size_t b, double h) {
+    view.hops(a, b) = h;
+    view.hops(b, a) = h;
+  };
+  set_hops(0, 1, 1.0);  // same host
+  set_hops(0, 2, 2.0);  // same rack
+  set_hops(1, 2, 2.0);
+  // machine 3 is 4 hops from everyone.
+  view.rate_bps(0, 1) = gbps(4);
+  view.rate_bps(1, 0) = gbps(4);
+  return view;
+}
+
+Application chatty_pair(double cpu = 1.0) {
+  Application app;
+  app.cpu_demand = {cpu, cpu};
+  app.traffic_bytes = DoubleMatrix(2, 2, 0.0);
+  app.traffic_bytes(0, 1) = units::gigabytes(1);
+  return app;
+}
+
+TEST(Constraints, ValidateRejectsBadIndices) {
+  PlacementConstraints c;
+  c.separate.emplace_back(0, 5);
+  EXPECT_THROW(c.validate(3), PreconditionError);
+  c.separate.clear();
+  c.separate.emplace_back(1, 1);
+  EXPECT_THROW(c.validate(3), PreconditionError);
+  c.separate.clear();
+  c.latency.push_back({0, 1, 0});
+  EXPECT_THROW(c.validate(3), PreconditionError);
+}
+
+TEST(Constraints, SeparateForcesDistinctHosts) {
+  ClusterState state(constrained_view());
+  Application app = chatty_pair();
+  app.constraints.separate.emplace_back(0, 1);
+  GreedyPlacer greedy(RateModel::Hose);
+  const Placement p = greedy.place(app, state);
+  // Without the constraint greedy would co-locate (free transfer); with it,
+  // the tasks must land on different hosts — machines 0 and 1 together are
+  // also forbidden (same colocation group).
+  const auto& view = state.view();
+  EXPECT_FALSE(view.colocated(p.machine_of_task[0], p.machine_of_task[1]));
+  EXPECT_TRUE(satisfies_constraints(app.constraints, view, p));
+}
+
+TEST(Constraints, WithoutSeparateGreedyColocates) {
+  ClusterState state(constrained_view());
+  const Application app = chatty_pair();
+  GreedyPlacer greedy(RateModel::Hose);
+  const Placement p = greedy.place(app, state);
+  EXPECT_EQ(p.machine_of_task[0], p.machine_of_task[1]);
+}
+
+TEST(Constraints, PinnedTaskStaysPut) {
+  ClusterState state(constrained_view());
+  Application app = chatty_pair();
+  app.constraints.pinned[0] = 3;
+  GreedyPlacer greedy(RateModel::Hose);
+  const Placement p = greedy.place(app, state);
+  EXPECT_EQ(p.machine_of_task[0], 3u);
+}
+
+TEST(Constraints, LatencyBoundKeepsPairClose) {
+  ClusterState state(constrained_view());
+  Application app = chatty_pair(3.0);  // cannot co-locate (6 > 4 cores)
+  app.constraints.latency.push_back({0, 1, 2});
+  app.constraints.pinned[0] = 0;  // anchor one end
+  GreedyPlacer greedy(RateModel::Hose);
+  const Placement p = greedy.place(app, state);
+  EXPECT_EQ(p.machine_of_task[0], 0u);
+  // Machine 3 (4 hops) is excluded; 1 or 2 are acceptable.
+  EXPECT_NE(p.machine_of_task[1], 3u);
+  EXPECT_TRUE(satisfies_constraints(app.constraints, state.view(), p));
+}
+
+TEST(Constraints, InfeasibleConstraintsThrow) {
+  ClusterState state(constrained_view());
+  Application app = chatty_pair();
+  // Pin both tasks onto machine 3 but demand separation: impossible.
+  app.constraints.pinned[0] = 3;
+  app.constraints.pinned[1] = 3;
+  app.constraints.separate.emplace_back(0, 1);
+  GreedyPlacer greedy(RateModel::Hose);
+  EXPECT_THROW(greedy.place(app, state), PlacementError);
+}
+
+TEST(Constraints, IlpHonoursSeparationAndPinning) {
+  ClusterState state(constrained_view());
+  Application app = chatty_pair();
+  app.constraints.separate.emplace_back(0, 1);
+  app.constraints.pinned[0] = 2;
+  IlpPlacer ilp(RateModel::Hose);
+  const Placement p = ilp.place(app, state);
+  EXPECT_EQ(p.machine_of_task[0], 2u);
+  EXPECT_TRUE(satisfies_constraints(app.constraints, state.view(), p));
+}
+
+TEST(Constraints, BruteForceMatchesIlpUnderConstraints) {
+  ClusterState state(constrained_view());
+  Application app;
+  app.cpu_demand = {1.0, 1.0, 1.0};
+  app.traffic_bytes = DoubleMatrix(3, 3, 0.0);
+  app.traffic_bytes(0, 1) = units::megabytes(400);
+  app.traffic_bytes(1, 2) = units::megabytes(200);
+  app.constraints.separate.emplace_back(0, 2);
+  IlpPlacer ilp(RateModel::Hose);
+  BruteForcePlacer brute(RateModel::Hose);
+  const Placement pi = ilp.place(app, state);
+  const Placement pb = brute.place(app, state);
+  const double ti = estimate_completion_s(app, pi, state.view(), RateModel::Hose);
+  const double tb = estimate_completion_s(app, pb, state.view(), RateModel::Hose);
+  EXPECT_NEAR(ti, tb, 1e-9 + tb * 1e-9);
+  EXPECT_TRUE(satisfies_constraints(app.constraints, state.view(), pi));
+  EXPECT_TRUE(satisfies_constraints(app.constraints, state.view(), pb));
+}
+
+TEST(Constraints, CombinePreservesWithOffsets) {
+  Application a = chatty_pair();
+  a.constraints.separate.emplace_back(0, 1);
+  Application b = chatty_pair();
+  b.constraints.pinned[1] = 2;
+  b.constraints.latency.push_back({0, 1, 2});
+  const Application c = combine({a, b});
+  ASSERT_EQ(c.constraints.separate.size(), 1u);
+  EXPECT_EQ(c.constraints.separate[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  ASSERT_EQ(c.constraints.latency.size(), 1u);
+  EXPECT_EQ(c.constraints.latency[0].a, 2u);
+  EXPECT_EQ(c.constraints.latency[0].b, 3u);
+  EXPECT_EQ(c.constraints.pinned.at(3), 2u);
+}
+
+TEST(Constraints, LatencyWithoutHopsDataThrows) {
+  ClusterView view = constrained_view();
+  view.hops = DoubleMatrix();  // no traceroute data
+  ClusterState state(view);
+  Application app = chatty_pair(3.0);
+  app.constraints.latency.push_back({0, 1, 2});
+  GreedyPlacer greedy(RateModel::Hose);
+  EXPECT_THROW(greedy.place(app, state), PreconditionError);
+}
+
+/// Property sweep: greedy placements under random constraints always satisfy
+/// them (or throw), across seeds.
+class ConstraintProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConstraintProperty, GreedySatisfiesOrThrows) {
+  Rng rng(GetParam());
+  ClusterView view = constrained_view();
+  ClusterState state(view);
+  Application app;
+  const std::size_t tasks = static_cast<std::size_t>(rng.uniform_int(3, 5));
+  app.cpu_demand.assign(tasks, 1.0);
+  app.traffic_bytes = DoubleMatrix(tasks, tasks, 0.0);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    for (std::size_t j = 0; j < tasks; ++j) {
+      if (i != j && rng.chance(0.5)) {
+        app.traffic_bytes(i, j) = rng.uniform(1e6, 1e9);
+      }
+    }
+  }
+  // Random constraints.
+  if (rng.chance(0.7)) {
+    app.constraints.separate.emplace_back(0, 1 + rng.uniform_int(0, 1));
+  }
+  if (rng.chance(0.5)) {
+    app.constraints.pinned[tasks - 1] =
+        static_cast<std::size_t>(rng.uniform_int(0, 3));
+  }
+  if (rng.chance(0.5)) {
+    app.constraints.latency.push_back(
+        {0, tasks - 1, static_cast<std::size_t>(rng.uniform_int(1, 4))});
+  }
+  GreedyPlacer greedy(RateModel::Hose);
+  try {
+    const Placement p = greedy.place(app, state);
+    EXPECT_TRUE(satisfies_constraints(app.constraints, view, p));
+    // CPU must also hold.
+    std::vector<double> used(view.machine_count(), 0.0);
+    for (std::size_t t = 0; t < tasks; ++t) used[p.machine_of_task[t]] += 1.0;
+    for (std::size_t m = 0; m < view.machine_count(); ++m) {
+      EXPECT_LE(used[m], view.cores[m] + 1e-9);
+    }
+  } catch (const PlacementError&) {
+    // Over-constrained instances may be infeasible; that is a valid outcome.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConstraints, ConstraintProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace choreo::place

@@ -1,0 +1,124 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+#include "workload/generator.h"
+
+namespace choreo::core {
+namespace {
+
+using units::gigabytes;
+
+/// Tasks need 3 cores each (two do not fit one 4-core machine), so every
+/// app has genuine network time — otherwise greedy co-locates the pair and
+/// the app "finishes" instantly.
+place::Application small_app(const std::string& name, double arrival_s,
+                             double cpu = 3.0, double bytes = gigabytes(1)) {
+  place::Application app;
+  app.name = name;
+  app.cpu_demand = {cpu, cpu};
+  app.traffic_bytes = DoubleMatrix(2, 2, 0.0);
+  app.traffic_bytes(0, 1) = bytes;
+  app.arrival_s = arrival_s;
+  return app;
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : cloud_(cloud::ec2_2013(), 99), vms_(cloud_.allocate_vms(6)) {
+    config_.choreo.plan.train.bursts = 5;
+    config_.choreo.plan.train.burst_length = 100;
+    config_.choreo.use_measured_view = false;  // fast, deterministic
+    config_.choreo.reevaluate_period_s = 30.0;
+  }
+
+  cloud::Cloud cloud_;
+  std::vector<cloud::VmId> vms_;
+  ControllerConfig config_;
+};
+
+TEST_F(ControllerTest, PlacesAndFinishesAllApps) {
+  const std::vector<place::Application> apps{
+      small_app("a", 0.0), small_app("b", 5.0), small_app("c", 10.0)};
+  Controller controller(cloud_, vms_, config_);
+  const SessionLog log = controller.run(apps);
+  ASSERT_EQ(log.apps.size(), 3u);
+  for (const AppOutcome& a : log.apps) {
+    EXPECT_GE(a.placed_s, a.arrival_s);
+    EXPECT_GT(a.finished_s, a.placed_s);
+    EXPECT_TRUE(a.placement.complete());
+  }
+  EXPECT_GT(log.total_runtime_s, 0.0);
+}
+
+TEST_F(ControllerTest, QueuesWhenClusterFull) {
+  // 6 machines x 4 cores = 24 cores. Three 8-core apps fill it; the fourth
+  // must wait for a departure.
+  std::vector<place::Application> apps;
+  for (int i = 0; i < 4; ++i) {
+    apps.push_back(small_app("fat" + std::to_string(i), 0.0, 4.0, gigabytes(4)));
+  }
+  Controller controller(cloud_, vms_, config_);
+  const SessionLog log = controller.run(apps);
+  bool deferred = false;
+  for (const SessionEvent& e : log.events) deferred |= (e.kind == "deferred");
+  EXPECT_TRUE(deferred);
+  // The deferred app still completes, strictly after some departure.
+  const AppOutcome& last = log.apps.back();
+  EXPECT_GT(last.placed_s, last.arrival_s);
+  EXPECT_GT(last.finished_s, last.placed_s);
+}
+
+TEST_F(ControllerTest, ReevaluatesPeriodically) {
+  // One long-running app so several re-evaluation ticks fire.
+  const std::vector<place::Application> apps{
+      small_app("long", 0.0, 3.0, gigabytes(80))};  // minutes even at vswitch speed
+  Controller controller(cloud_, vms_, config_);
+  const SessionLog log = controller.run(apps);
+  EXPECT_GE(log.reevaluations, 3u);
+}
+
+TEST_F(ControllerTest, RejectsUnsortedArrivals) {
+  const std::vector<place::Application> apps{small_app("late", 10.0),
+                                             small_app("early", 0.0)};
+  Controller controller(cloud_, vms_, config_);
+  EXPECT_THROW(controller.run(apps), PreconditionError);
+}
+
+TEST_F(ControllerTest, ThrowsWhenQueueingDisabledAndFull) {
+  config_.queue_when_full = false;
+  std::vector<place::Application> apps;
+  for (int i = 0; i < 4; ++i) {
+    apps.push_back(small_app("fat" + std::to_string(i), 0.0, 4.0));
+  }
+  Controller controller(cloud_, vms_, config_);
+  EXPECT_THROW(controller.run(apps), PreconditionError);
+}
+
+TEST_F(ControllerTest, SessionWithTraceWorkload) {
+  Rng rng(11);
+  workload::GeneratorConfig gen;
+  gen.min_tasks = 3;
+  gen.max_tasks = 5;
+  gen.max_cpu = 1.5;
+  std::vector<place::Application> apps;
+  double t = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    place::Application app = workload::generate_app(rng, gen);
+    app.arrival_s = t;
+    apps.push_back(std::move(app));
+    t += rng.uniform(5.0, 40.0);
+  }
+  Controller controller(cloud_, vms_, config_);
+  const SessionLog log = controller.run(apps);
+  EXPECT_EQ(log.apps.size(), 5u);
+  for (const AppOutcome& a : log.apps) EXPECT_GE(a.finished_s, 0.0);
+  // The event stream is time-ordered.
+  for (std::size_t i = 1; i < log.events.size(); ++i) {
+    EXPECT_LE(log.events[i - 1].time_s, log.events[i].time_s + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace choreo::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "place/greedy.h"
+#include "place/ilp.h"
+#include "place/rate_model.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace choreo::place {
+namespace {
+
+using units::gbps;
+using units::mbps;
+
+ClusterView random_view(Rng& rng, std::size_t machines) {
+  ClusterView view;
+  view.rate_bps = DoubleMatrix(machines, machines, 0.0);
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (i != j) view.rate_bps(i, j) = rng.uniform(mbps(300), mbps(1100));
+    }
+  }
+  view.cross_traffic = DoubleMatrix(machines, machines, 0.0);
+  view.cores.assign(machines, 4.0);
+  view.colocation_group.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) view.colocation_group[m] = static_cast<int>(m);
+  return view;
+}
+
+Application random_app(Rng& rng, std::size_t tasks) {
+  Application app;
+  app.name = "random";
+  app.cpu_demand.resize(tasks);
+  for (double& c : app.cpu_demand) c = rng.uniform(0.5, 2.0);
+  app.traffic_bytes = DoubleMatrix(tasks, tasks, 0.0);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    for (std::size_t j = 0; j < tasks; ++j) {
+      if (i != j && rng.chance(0.5)) {
+        app.traffic_bytes(i, j) = rng.uniform(units::megabytes(10), units::megabytes(500));
+      }
+    }
+  }
+  // Ensure at least one transfer so the placement is non-trivial.
+  if (app.traffic_bytes.total() == 0.0) app.traffic_bytes(0, 1 % tasks) = 1e6;
+  return app;
+}
+
+TEST(IlpPlacer, MatchesBruteForceOnTinyInstance) {
+  Rng rng(1);
+  const ClusterView view = random_view(rng, 3);
+  const Application app = random_app(rng, 4);
+  ClusterState state(view);
+
+  IlpPlacer ilp(RateModel::Hose);
+  BruteForcePlacer brute(RateModel::Hose);
+  const Placement pi = ilp.place(app, state);
+  const Placement pb = brute.place(app, state);
+  const double ti = estimate_completion_s(app, pi, view, RateModel::Hose);
+  const double tb = estimate_completion_s(app, pb, view, RateModel::Hose);
+  EXPECT_NEAR(ti, tb, tb * 1e-6 + 1e-9);
+}
+
+/// Property: over random small instances, ILP == brute force and greedy is
+/// never better than either (it may tie).
+class IlpOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpOptimality, IlpEqualsBruteForceGreedyIsUpperBound) {
+  Rng rng(GetParam() + 100);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(2, 3));
+  const std::size_t tasks = static_cast<std::size_t>(rng.uniform_int(3, 4));
+  const ClusterView view = random_view(rng, machines);
+  const Application app = random_app(rng, tasks);
+  ClusterState state(view);
+
+  const RateModel model = rng.chance(0.5) ? RateModel::Hose : RateModel::Pipe;
+  BruteForcePlacer brute(model);
+  Placement pb;
+  try {
+    pb = brute.place(app, state);
+  } catch (const PlacementError&) {
+    GTEST_SKIP() << "instance infeasible";
+  }
+  const double tb = estimate_completion_s(app, pb, view, model);
+
+  IlpPlacer ilp(model);
+  const Placement pi = ilp.place(app, state);
+  const double ti = estimate_completion_s(app, pi, view, model);
+  EXPECT_LE(ti, tb * (1.0 + 1e-6) + 1e-9);
+  EXPECT_GE(ti, tb * (1.0 - 1e-6) - 1e-9);
+
+  GreedyPlacer greedy(model);
+  const Placement pg = greedy.place(app, state);
+  const double tg = estimate_completion_s(app, pg, view, model);
+  EXPECT_GE(tg, tb * (1.0 - 1e-9) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, IlpOptimality,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(IlpPlacer, RespectsCpuConstraints) {
+  Rng rng(7);
+  ClusterView view = random_view(rng, 3);
+  view.cores = {2.0, 2.0, 2.0};
+  Application app;
+  app.cpu_demand = {2.0, 2.0, 2.0};
+  app.traffic_bytes = DoubleMatrix(3, 3, 0.0);
+  app.traffic_bytes(0, 1) = 1e8;
+  app.traffic_bytes(1, 2) = 1e8;
+  ClusterState state(view);
+  IlpPlacer ilp(RateModel::Hose);
+  const Placement p = ilp.place(app, state);
+  // Each machine fits exactly one 2-core task.
+  std::set<std::size_t> used(p.machine_of_task.begin(), p.machine_of_task.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(IlpPlacer, FallsBackToGreedyOnNodeLimit) {
+  Rng rng(9);
+  const ClusterView view = random_view(rng, 4);
+  const Application app = random_app(rng, 6);
+  ClusterState state(view);
+  lp::IlpOptions opts;
+  opts.max_nodes = 1;  // guarantee budget exhaustion
+  IlpPlacer ilp(RateModel::Hose, opts);
+  const Placement p = ilp.place(app, state);
+  EXPECT_TRUE(p.complete());  // greedy fallback still yields a placement
+}
+
+TEST(BruteForce, RefusesHugeInstances) {
+  Rng rng(11);
+  const ClusterView view = random_view(rng, 10);
+  const Application app = random_app(rng, 12);
+  ClusterState state(view);
+  BruteForcePlacer brute(RateModel::Hose, /*max_assignments=*/1000);
+  EXPECT_THROW(brute.place(app, state), PreconditionError);
+}
+
+TEST(BruteForce, ReportsObjective) {
+  Rng rng(13);
+  const ClusterView view = random_view(rng, 3);
+  const Application app = random_app(rng, 3);
+  ClusterState state(view);
+  BruteForcePlacer brute(RateModel::Pipe);
+  const Placement p = brute.place(app, state);
+  EXPECT_NEAR(brute.last_objective_s(),
+              estimate_completion_s(app, p, view, RateModel::Pipe), 1e-9);
+}
+
+}  // namespace
+}  // namespace choreo::place

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace choreo::lp {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+  Model m;
+  const auto x = m.add_variable(3.0);
+  const auto y = m.add_variable(5.0);
+  m.set_maximize(true);
+  m.add_constraint({{x, 1.0}}, Sense::LessEq, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::LessEq, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::LessEq, 18.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 6.0, 1e-9);
+}
+
+TEST(Simplex, MinimizationWithGreaterEq) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 -> (8, 2)? No: y cost higher, so
+  // y = 0, x = 10 -> obj 20.
+  Model m;
+  const auto x = m.add_variable(2.0);
+  const auto y = m.add_variable(3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEq, 10.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEq, 2.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 20.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 10.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + 2y == 4, x,y >= 0 -> y = 2, x = 0, obj 2.
+  Model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Equal, 4.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const auto x = m.add_variable(1.0, 0.0, 5.0);
+  m.add_constraint({{x, 1.0}}, Sense::GreaterEq, 10.0);
+  const Solution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const auto x = m.add_variable(1.0);
+  m.set_maximize(true);
+  m.add_constraint({{x, -1.0}}, Sense::LessEq, 0.0);  // x >= 0, no upper bound
+  const Solution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  Model m;
+  const auto x = m.add_variable(-1.0, 1.0, 3.0);  // min -x => x -> upper bound
+  m.add_constraint({{x, 1.0}}, Sense::LessEq, 100.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, LowerBoundShiftsSolution) {
+  Model m;
+  const auto x = m.add_variable(1.0, 2.0, kInf);  // min x, x >= 2
+  m.add_constraint({{x, 1.0}}, Sense::LessEq, 10.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+}
+
+TEST(Simplex, BoundOverridesForBranchAndBound) {
+  Model m;
+  const auto x = m.add_variable(-1.0, 0.0, 10.0);
+  m.add_constraint({{x, 1.0}}, Sense::LessEq, 10.0);
+  SimplexOptions opts;
+  opts.lower_override = {0.0};
+  opts.upper_override = {4.0};
+  const Solution s = solve_lp(m, opts);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[x], 4.0, 1e-9);
+}
+
+TEST(Ilp, SimpleKnapsack) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries) -> a,b -> 16.
+  Model m;
+  const auto a = m.add_binary(10.0);
+  const auto b = m.add_binary(6.0);
+  const auto c = m.add_binary(4.0);
+  m.set_maximize(true);
+  m.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::LessEq, 2.0);
+  const Solution s = solve_ilp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 16.0, 1e-9);
+  EXPECT_NEAR(s.values[a], 1.0, 1e-9);
+  EXPECT_NEAR(s.values[c], 0.0, 1e-9);
+}
+
+TEST(Ilp, FractionalLpNeedsBranching) {
+  // max x s.t. 2x <= 3, x binary -> LP gives 1.5, ILP must give 1.
+  Model m;
+  const auto x = m.add_variable(1.0, 0.0, kInf, true);
+  m.set_maximize(true);
+  m.add_constraint({{x, 2.0}}, Sense::LessEq, 3.0);
+  const Solution s = solve_ilp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.values[x], 1.0, 1e-9);
+}
+
+TEST(Ilp, InfeasibleIntegerProblem) {
+  Model m;
+  const auto x = m.add_binary(1.0);
+  m.add_constraint({{x, 2.0}}, Sense::Equal, 1.0);  // x = 0.5 impossible
+  const Solution s = solve_ilp(m);
+  EXPECT_EQ(s.status, SolveStatus::Infeasible);
+}
+
+TEST(Ilp, WarmStartStillFindsOptimum) {
+  Model m;
+  const auto a = m.add_binary(-3.0);  // min: take a and b
+  const auto b = m.add_binary(-2.0);
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, Sense::LessEq, 2.0);
+  IlpOptions opts;
+  opts.warm_start_objective = -1.0;  // poor incumbent; must still improve
+  const Solution s = solve_ilp(m, opts);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -5.0, 1e-9);
+}
+
+/// Property sweep: branch-and-bound equals brute force on random small ILPs.
+class IlpVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpVsBruteForce, Agree) {
+  Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  Model m;
+  std::vector<double> costs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    costs[i] = rng.uniform(-10.0, 10.0);
+    m.add_binary(costs[i]);
+  }
+  struct Row {
+    std::vector<double> coeffs;
+    double rhs;
+  };
+  std::vector<Row> raw_rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.coeffs.resize(n);
+    std::vector<Term> terms;
+    for (std::size_t i = 0; i < n; ++i) {
+      row.coeffs[i] = rng.uniform(0.0, 5.0);
+      terms.push_back({i, row.coeffs[i]});
+    }
+    row.rhs = rng.uniform(1.0, 10.0);
+    m.add_constraint(std::move(terms), Sense::LessEq, row.rhs);
+    raw_rows.push_back(std::move(row));
+  }
+
+  // Brute force over all 2^n assignments.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    double obj = 0.0;
+    bool ok = true;
+    for (const Row& row : raw_rows) {
+      double lhs = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) lhs += row.coeffs[i];
+      }
+      if (lhs > row.rhs + 1e-9) ok = false;
+    }
+    if (!ok) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) obj += costs[i];
+    }
+    best = std::min(best, obj);
+  }
+
+  const Solution s = solve_ilp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIlps, IlpVsBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+/// Property sweep: LP solutions are primal feasible and at least as good as
+/// every vertex of a random sampling of feasible points.
+class LpFeasibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpFeasibility, OptimalIsFeasibleAndDominatesSamples) {
+  Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  Model m;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add_variable(rng.uniform(-5.0, 5.0), 0.0, rng.uniform(1.0, 10.0));
+  }
+  const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (std::size_t i = 0; i < n; ++i) terms.push_back({i, rng.uniform(0.0, 3.0)});
+    m.add_constraint(std::move(terms), Sense::LessEq, rng.uniform(5.0, 20.0));
+  }
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_TRUE(m.feasible(s.values, 1e-6));
+  // Sampled feasible points must not beat the reported optimum.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = rng.uniform(0.0, m.upper(i));
+    if (!m.feasible(x, 1e-9)) continue;
+    EXPECT_GE(m.objective_value(x), s.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, LpFeasibility, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace choreo::lp

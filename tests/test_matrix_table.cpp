@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "util/matrix.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace choreo {
+namespace {
+
+TEST(Matrix, RoundTripAndSums) {
+  DoubleMatrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 4.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.total(), 7.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(1), 4.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(0), 1.0);
+}
+
+TEST(Matrix, SquareConstructorAndEquality) {
+  Matrix<int> a(2, 9);
+  Matrix<int> b(2, 9);
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, BoundsChecked) {
+  DoubleMatrix m(2, 2, 0.0);
+  EXPECT_THROW(m(2, 0), PreconditionError);
+  EXPECT_THROW(m(0, 2), PreconditionError);
+  EXPECT_THROW(m.row_sum(5), PreconditionError);
+}
+
+TEST(Matrix, EmptyMatrix) {
+  DoubleMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_numeric_row({2.5, 10.0});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.085), "8.5%");
+  EXPECT_EQ(fmt_pct(0.5, 0), "50%");
+  EXPECT_EQ(fmt(3.14159, 3), "3.142");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::mbps(300), 300e6);
+  EXPECT_DOUBLE_EQ(units::gbps(1), 1e9);
+  EXPECT_DOUBLE_EQ(units::to_mbps(950e6), 950.0);
+  EXPECT_DOUBLE_EQ(units::megabytes(100), 1e8);
+  EXPECT_DOUBLE_EQ(units::millis(5), 0.005);
+  // 1 GB at 1 Gbit/s = 8 seconds.
+  EXPECT_DOUBLE_EQ(units::transmit_time(units::gigabytes(1), units::gbps(1)), 8.0);
+}
+
+}  // namespace
+}  // namespace choreo

@@ -1,0 +1,106 @@
+#include "flowsim/max_min.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace choreo::flowsim {
+namespace {
+
+TEST(MaxMin, SingleLinkEqualShares) {
+  const auto rates = max_min_rates({900e6}, {{0}, {0}, {0}}, 1e12);
+  ASSERT_EQ(rates.size(), 3u);
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 300e6);
+}
+
+TEST(MaxMin, UnconstrainedFlowGetsDefault) {
+  const auto rates = max_min_rates({1e9}, {{}, {0}}, 42e9);
+  EXPECT_DOUBLE_EQ(rates[0], 42e9);
+  EXPECT_DOUBLE_EQ(rates[1], 1e9);
+}
+
+TEST(MaxMin, ClassicTriangle) {
+  // Two links: L0 (1G) shared by flows A and B; L1 (0.5G) shared by B and C.
+  // Water-filling: L1 bottlenecks first at 0.25 for B and C; A then takes the
+  // rest of L0: 0.75.
+  const auto rates = max_min_rates({1e9, 0.5e9}, {{0}, {0, 1}, {1}}, 1e12);
+  EXPECT_DOUBLE_EQ(rates[1], 0.25e9);
+  EXPECT_DOUBLE_EQ(rates[2], 0.25e9);
+  EXPECT_DOUBLE_EQ(rates[0], 0.75e9);
+}
+
+TEST(MaxMin, HoseAsExtraResource) {
+  // One fat link (10G) but a 1G hose shared by two flows from one VM.
+  const auto rates = max_min_rates({10e9, 1e9}, {{0, 1}, {0, 1}}, 1e12);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5e9);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5e9);
+}
+
+TEST(MaxMin, EmptyInputs) {
+  EXPECT_TRUE(max_min_rates({}, {}, 1.0).empty());
+  const auto rates = max_min_rates({1e9}, {}, 1.0);
+  EXPECT_TRUE(rates.empty());
+}
+
+TEST(MaxMin, RejectsBadResourceId) {
+  EXPECT_THROW(max_min_rates({1e9}, {{3}}, 1.0), PreconditionError);
+}
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, FeasibleAndBottleneckTight) {
+  Rng rng(GetParam());
+  const std::size_t n_res = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  const std::size_t n_flows = static_cast<std::size_t>(rng.uniform_int(1, 20));
+  std::vector<double> cap(n_res);
+  for (double& c : cap) c = rng.uniform(1e8, 1e10);
+  std::vector<std::vector<ResourceId>> usage(n_flows);
+  for (auto& u : usage) {
+    const std::size_t k = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(n_res)));
+    std::vector<std::size_t> ids(n_res);
+    for (std::size_t i = 0; i < n_res; ++i) ids[i] = i;
+    rng.shuffle(ids);
+    u.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  const auto rates = max_min_rates(cap, usage, 1e15);
+
+  // Property 1: feasibility — no resource oversubscribed.
+  std::vector<double> load(n_res, 0.0);
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    EXPECT_GT(rates[f], 0.0);
+    for (ResourceId r : usage[f]) load[r] += rates[f];
+  }
+  for (std::size_t r = 0; r < n_res; ++r) {
+    EXPECT_LE(load[r], cap[r] * (1.0 + 1e-9));
+  }
+
+  // Property 2: max-min optimality — every flow is blocked by some
+  // saturated resource where it has (weakly) the largest rate; otherwise its
+  // rate could be raised without hurting a smaller flow.
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    bool blocked = false;
+    for (ResourceId r : usage[f]) {
+      const bool saturated = load[r] >= cap[r] * (1.0 - 1e-9);
+      if (!saturated) continue;
+      bool is_max = true;
+      for (std::size_t g = 0; g < n_flows; ++g) {
+        if (g == f) continue;
+        for (ResourceId rr : usage[g]) {
+          if (rr == r && rates[g] > rates[f] * (1.0 + 1e-9)) is_max = false;
+        }
+      }
+      if (is_max) {
+        blocked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(blocked) << "flow " << f << " could be increased";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace choreo::flowsim

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "place/greedy.h"
+#include "place/phases.h"
+#include "util/units.h"
+#include "workload/phased.h"
+
+namespace choreo::place {
+namespace {
+
+using units::gigabytes;
+using units::mbps;
+
+ClusterView simple_view(std::size_t machines) {
+  ClusterView view;
+  view.rate_bps = DoubleMatrix(machines, machines, mbps(1000));
+  view.cross_traffic = DoubleMatrix(machines, machines, 0.0);
+  view.cores.assign(machines, 2.0);
+  view.colocation_group.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) view.colocation_group[m] = static_cast<int>(m);
+  return view;
+}
+
+/// Three tasks, two phases with opposite hotspots: phase 0 is all 0->1,
+/// phase 1 is all 0->2. An aggregate placement must compromise; a per-phase
+/// plan can co-locate the hot pair in each phase.
+PhasedApplication two_phase_app() {
+  PhasedApplication app;
+  app.name = "swap";
+  app.cpu_demand = {1.0, 1.0, 1.0};
+  DoubleMatrix phase0(3, 3, 0.0);
+  phase0(0, 1) = gigabytes(2);
+  phase0(0, 2) = gigabytes(0.05);
+  DoubleMatrix phase1(3, 3, 0.0);
+  phase1(0, 2) = gigabytes(2);
+  phase1(0, 1) = gigabytes(0.05);
+  app.phase_traffic = {phase0, phase1};
+  return app;
+}
+
+TEST(Phases, AggregateSumsPhases) {
+  const PhasedApplication app = two_phase_app();
+  const Application agg = app.aggregate();
+  EXPECT_DOUBLE_EQ(agg.traffic_bytes(0, 1), gigabytes(2.05));
+  EXPECT_DOUBLE_EQ(agg.traffic_bytes(0, 2), gigabytes(2.05));
+  EXPECT_EQ(agg.task_count(), 3u);
+}
+
+TEST(Phases, PhaseExtraction) {
+  const PhasedApplication app = two_phase_app();
+  EXPECT_DOUBLE_EQ(app.phase(0).traffic_bytes(0, 1), gigabytes(2));
+  EXPECT_DOUBLE_EQ(app.phase(1).traffic_bytes(0, 2), gigabytes(2));
+  EXPECT_THROW(app.phase(5), PreconditionError);
+}
+
+TEST(Phases, ValidateRejectsShapeMismatch) {
+  PhasedApplication app;
+  app.cpu_demand = {1.0, 1.0};
+  app.phase_traffic = {DoubleMatrix(3, 3, 0.0)};
+  EXPECT_THROW(app.validate(), PreconditionError);
+}
+
+TEST(Phases, PerPhasePlanBeatsAggregateOnShiftingHotspots) {
+  const PhasedApplication app = two_phase_app();
+  ClusterState state(simple_view(4));
+  const PhasedPlan phased = plan_phases(app, state, RateModel::Hose,
+                                        /*migration_cost_per_task_s=*/0.5);
+  const PhasedPlan aggregate = plan_aggregate(app, state, RateModel::Hose);
+  // The aggregate placement can co-locate task 0 with only one of its two
+  // partners (2 cores per machine), so one phase pays ~16s on the network;
+  // per-phase planning migrates and pays only the migration cost.
+  EXPECT_LT(phased.estimated_completion_s, aggregate.estimated_completion_s);
+  ASSERT_EQ(phased.migrations.size(), 1u);
+  EXPECT_GT(phased.migrations[0], 0u);
+}
+
+TEST(Phases, MigrationCostGatesReplanning) {
+  const PhasedApplication app = two_phase_app();
+  ClusterState state(simple_view(4));
+  const PhasedPlan cheap = plan_phases(app, state, RateModel::Hose, 0.0);
+  const PhasedPlan expensive = plan_phases(app, state, RateModel::Hose, 1e9);
+  EXPECT_GT(cheap.migrations[0], 0u);
+  EXPECT_EQ(expensive.migrations[0], 0u);
+  // With prohibitive migration cost the plan degenerates to phase-0's
+  // placement reused everywhere.
+  EXPECT_EQ(expensive.placements[0].machine_of_task,
+            expensive.placements[1].machine_of_task);
+}
+
+TEST(Phases, SinglePhaseEqualsPlainPlacement) {
+  PhasedApplication app;
+  app.name = "one";
+  app.cpu_demand = {1.0, 1.0};
+  DoubleMatrix m(2, 2, 0.0);
+  m(0, 1) = gigabytes(1);
+  app.phase_traffic = {m};
+  ClusterState state(simple_view(3));
+  const PhasedPlan plan = plan_phases(app, state, RateModel::Hose, 1.0);
+  ASSERT_EQ(plan.placements.size(), 1u);
+  EXPECT_TRUE(plan.migrations.empty());
+  GreedyPlacer greedy(RateModel::Hose);
+  const Placement direct = greedy.place(app.phase(0), state);
+  EXPECT_EQ(plan.placements[0].machine_of_task, direct.machine_of_task);
+}
+
+TEST(PhasedGenerator, ProducesValidApps) {
+  Rng rng(3);
+  workload::PhasedConfig cfg;
+  cfg.gen.min_tasks = 4;
+  cfg.gen.max_tasks = 6;
+  for (int i = 0; i < 10; ++i) {
+    const PhasedApplication app = workload::generate_phased_app(rng, cfg);
+    app.validate();
+    EXPECT_GE(app.phase_count(), cfg.min_phases);
+    EXPECT_LE(app.phase_count(), cfg.max_phases);
+    for (std::size_t k = 0; k < app.phase_count(); ++k) {
+      EXPECT_GT(app.phase_traffic[k].total(), 0.0);
+    }
+  }
+}
+
+TEST(PhasedGenerator, PhasesDiffer) {
+  Rng rng(5);
+  workload::PhasedConfig cfg;
+  cfg.min_phases = cfg.max_phases = 3;
+  const PhasedApplication app = workload::generate_phased_app(rng, cfg);
+  EXPECT_FALSE(app.phase_traffic[0] == app.phase_traffic[1]);
+  EXPECT_FALSE(app.phase_traffic[1] == app.phase_traffic[2]);
+}
+
+}  // namespace
+}  // namespace choreo::place

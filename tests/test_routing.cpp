@@ -1,0 +1,101 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace choreo::net {
+namespace {
+
+Topology small_tree() {
+  TreeParams p;
+  p.pods = 2;
+  p.racks_per_pod = 2;
+  p.hosts_per_rack = 2;
+  p.aggs_per_pod = 2;
+  p.cores = 2;
+  return make_multi_rooted_tree(p);
+}
+
+TEST(Router, HopCountsMatchTreeStructure) {
+  const Topology t = small_tree();
+  const Router r(t);
+  const auto hosts = t.nodes_of_kind(NodeKind::Host);
+  // hosts are created rack-by-rack: 0,1 on rack0; 2,3 on rack1 (same pod);
+  // 4.. in pod 1.
+  EXPECT_EQ(r.hop_count(hosts[0], hosts[1]), 2u);  // same rack
+  EXPECT_EQ(r.hop_count(hosts[0], hosts[2]), 4u);  // same pod
+  EXPECT_EQ(r.hop_count(hosts[0], hosts[4]), 6u);  // across pods
+  EXPECT_EQ(r.hop_count(hosts[0], hosts[0]), 0u);
+}
+
+TEST(Router, RegionalTreeGivesEightHops) {
+  RegionalTreeParams p;
+  p.regions = 2;
+  p.super_cores = 2;
+  p.region.pods = 2;
+  p.region.racks_per_pod = 2;
+  p.region.hosts_per_rack = 2;
+  const Topology t = make_regional_tree(p);
+  const Router r(t);
+  const auto hosts = t.nodes_of_kind(NodeKind::Host);
+  // First and last hosts live in different regions.
+  const NodeId a = hosts.front();
+  const NodeId b = hosts.back();
+  ASSERT_NE(t.node(a).region, t.node(b).region);
+  EXPECT_EQ(r.hop_count(a, b), 8u);
+}
+
+TEST(Router, RouteIsConsistentWithHopCount) {
+  const Topology t = small_tree();
+  const Router r(t);
+  const auto hosts = t.nodes_of_kind(NodeKind::Host);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      const Route route = r.route(hosts[i], hosts[j], 7);
+      EXPECT_EQ(route.hop_count(), r.hop_count(hosts[i], hosts[j]));
+      EXPECT_EQ(route.nodes.front(), hosts[i]);
+      EXPECT_EQ(route.nodes.back(), hosts[j]);
+      // Links must chain.
+      for (std::size_t k = 0; k < route.links.size(); ++k) {
+        EXPECT_EQ(t.link(route.links[k]).src, route.nodes[k]);
+        EXPECT_EQ(t.link(route.links[k]).dst, route.nodes[k + 1]);
+      }
+    }
+  }
+}
+
+TEST(Router, SameFlowKeySamePath) {
+  const Topology t = small_tree();
+  const Router r(t);
+  const auto hosts = t.nodes_of_kind(NodeKind::Host);
+  const Route r1 = r.route(hosts[0], hosts[7], 1234);
+  const Route r2 = r.route(hosts[0], hosts[7], 1234);
+  EXPECT_EQ(r1.links, r2.links);
+}
+
+TEST(Router, EcmpSpreadsAcrossKeys) {
+  const Topology t = small_tree();
+  const Router r(t);
+  const auto hosts = t.nodes_of_kind(NodeKind::Host);
+  std::set<std::vector<LinkId>> distinct;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    distinct.insert(r.route(hosts[0], hosts[7], key).links);
+  }
+  // With 2 aggs and 2 cores there are several equal-cost paths; flow hashing
+  // should find more than one.
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Router, UnreachableThrows) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::Host, "a");
+  const NodeId b = t.add_node(NodeKind::Host, "b");
+  const Router r(t);
+  EXPECT_THROW(r.route(a, b, 0), PreconditionError);
+  EXPECT_THROW(r.hop_count(a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace choreo::net

@@ -1,0 +1,116 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace choreo {
+namespace {
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(Stats, PercentileRejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, -0.1), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 1.1), PreconditionError);
+}
+
+TEST(Stats, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 6.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_THROW(relative_error(1.0, 0.0), PreconditionError);
+}
+
+TEST(Stats, SummaryMatchesHandComputation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Stats, SummaryRejectsEmpty) { EXPECT_THROW(summarize({}), PreconditionError); }
+
+TEST(Cdf, AtAndQuantile) {
+  Cdf cdf(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Cdf, FractionBetween) {
+  Cdf cdf(std::vector<double>{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000});
+  EXPECT_DOUBLE_EQ(cdf.fraction_between(200, 500), 0.4);
+  EXPECT_DOUBLE_EQ(cdf.fraction_between(0, 10000), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_between(101, 199), 0.0);
+}
+
+TEST(Cdf, AddKeepsOrderInvariant) {
+  Cdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0 / 3.0);
+  cdf.add(0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.5);
+}
+
+TEST(Cdf, PointsEndAtOne) {
+  Cdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(static_cast<double>(i));
+  const auto pts = cdf.points(10);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  EXPECT_LE(pts.size(), 12u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(Accumulator, MatchesBatchStats) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  Accumulator acc;
+  for (double x : v) acc.add(x);
+  const Summary s = summarize(v);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, VarianceZeroForSmallCounts) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace choreo

@@ -1,0 +1,156 @@
+#include "packetsim/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "packetsim/link.h"
+#include "packetsim/sink.h"
+#include "packetsim/token_bucket.h"
+
+namespace choreo::packetsim {
+namespace {
+
+/// A loopback harness: sender -> fwd link(s) -> receiver; receiver -> ack
+/// link -> sender.
+struct TcpHarness {
+  EventQueue events;
+  TcpParams params;
+  // Reverse path (ACKs), generously provisioned.
+  std::unique_ptr<AckTap> tap;
+  std::unique_ptr<Link> ack_link;
+  std::unique_ptr<TcpReceiver> receiver;
+  std::unique_ptr<Link> fwd_link;
+  std::unique_ptr<TokenBucket> shaper;
+  std::unique_ptr<TcpSender> sender;
+
+  TcpHarness(double link_bps, double delay_s, double queue_bytes, std::uint64_t bytes,
+             double shaper_bps = -1.0, double shaper_depth = 30e3) {
+    // Build back to front. The sender is created last but the tap needs it:
+    // construct with null and wire after.
+    tap = std::make_unique<AckTap>(nullptr);
+    ack_link = std::make_unique<Link>(events, 10e9, delay_s, 10e6, tap.get());
+    receiver = std::make_unique<TcpReceiver>(events, ack_link.get(), params);
+    fwd_link = std::make_unique<Link>(events, link_bps, delay_s, queue_bytes,
+                                      receiver.get());
+    Element* entry = fwd_link.get();
+    if (shaper_bps > 0.0) {
+      shaper = std::make_unique<TokenBucket>(events, shaper_bps, shaper_depth,
+                                             fwd_link.get());
+      entry = shaper.get();
+    }
+    sender = std::make_unique<TcpSender>(events, entry, params, 1, bytes);
+    *tap = AckTap(sender.get());
+  }
+};
+
+TEST(Tcp, TransfersAllBytes) {
+  TcpHarness h(100e6, 1e-3, 64e3, 2'000'000);
+  h.sender->start(0.0);
+  h.events.run();
+  EXPECT_TRUE(h.sender->finished());
+  EXPECT_GE(h.sender->acked_bytes(), 2'000'000u);
+}
+
+TEST(Tcp, ThroughputApproachesLinkRate) {
+  TcpHarness h(100e6, 0.5e-3, 128e3, 20'000'000);
+  h.sender->start(0.0);
+  h.events.run();
+  ASSERT_TRUE(h.sender->finished());
+  const double rate = h.sender->throughput_bps(h.sender->finish_time());
+  // Within 20% of the bottleneck (slow-start ramp + header overhead).
+  EXPECT_GT(rate, 80e6);
+  EXPECT_LT(rate, 101e6);
+}
+
+TEST(Tcp, ThroughputMatchesTokenBucketRate) {
+  // Hose-enforced path: 1G link shaped to 300 Mbit/s.
+  TcpHarness h(1e9, 0.2e-3, 256e3, 30'000'000, /*shaper_bps=*/300e6);
+  h.sender->start(0.0);
+  h.events.run();
+  ASSERT_TRUE(h.sender->finished());
+  const double rate = h.sender->throughput_bps(h.sender->finish_time());
+  EXPECT_GT(rate, 250e6);
+  EXPECT_LT(rate, 310e6);
+}
+
+TEST(Tcp, RecoversFromLossViaFastRetransmit) {
+  // Tiny queue forces drops during slow start.
+  TcpHarness h(50e6, 1e-3, 16e3, 5'000'000);
+  h.sender->start(0.0);
+  h.events.run();
+  ASSERT_TRUE(h.sender->finished());
+  EXPECT_GT(h.sender->retransmits(), 0u);
+  // All data still delivered.
+  EXPECT_EQ(h.receiver->cumulative_ack() * h.params.mss_bytes >= 5'000'000, true);
+}
+
+TEST(Tcp, FairnessBetweenTwoCompetingFlows) {
+  // Two senders share one 100 Mbit/s link (the §3.2 assumption: "TCP divides
+  // the bottleneck rate equally between bulk connections").
+  EventQueue events;
+  TcpParams params;
+
+  auto tap1 = std::make_unique<AckTap>(nullptr);
+  auto tap2 = std::make_unique<AckTap>(nullptr);
+  auto ack1 = std::make_unique<Link>(events, 10e9, 1e-3, 10e6, tap1.get());
+  auto ack2 = std::make_unique<Link>(events, 10e9, 1e-3, 10e6, tap2.get());
+  auto recv1 = std::make_unique<TcpReceiver>(events, ack1.get(), params);
+  auto recv2 = std::make_unique<TcpReceiver>(events, ack2.get(), params);
+
+  // Shared bottleneck feeding a demux that routes by flow id.
+  struct Demux : Element {
+    Element* a;
+    Element* b;
+    void receive(const Packet& p, double now) override {
+      (p.flow == 1 ? a : b)->receive(p, now);
+    }
+  };
+  Demux demux;
+  demux.a = recv1.get();
+  demux.b = recv2.get();
+  Link shared(events, 100e6, 1e-3, 128e3, &demux);
+
+  TcpSender s1(events, &shared, params, 1, 12'000'000);
+  TcpSender s2(events, &shared, params, 2, 12'000'000);
+  *tap1 = AckTap(&s1);
+  *tap2 = AckTap(&s2);
+  s1.start(0.0);
+  s2.start(0.0);
+  events.run();
+  ASSERT_TRUE(s1.finished());
+  ASSERT_TRUE(s2.finished());
+  const double r1 = s1.throughput_bps(s1.finish_time());
+  const double r2 = s2.throughput_bps(s2.finish_time());
+  // Jain-style check: neither flow grabs more than ~65% of the shared rate.
+  EXPECT_GT(r1 / (r1 + r2), 0.33);
+  EXPECT_LT(r1 / (r1 + r2), 0.67);
+  EXPECT_NEAR(r1 + r2, 100e6, 20e6);
+  (void)r2;
+}
+
+TEST(Tcp, ReceiverTracksOutOfOrderDelivery) {
+  EventQueue events;
+  TcpParams params;
+  NullSink null;
+  TcpReceiver recv(events, &null, params);
+  Packet p;
+  p.wire_bytes = params.mss_bytes + params.header_bytes;
+  p.seq = 1;  // gap: 0 missing
+  recv.receive(p, 0.0);
+  EXPECT_EQ(recv.cumulative_ack(), 0u);
+  p.seq = 0;
+  recv.receive(p, 0.0);
+  EXPECT_EQ(recv.cumulative_ack(), 2u);  // 0 and buffered 1 both delivered
+  EXPECT_EQ(recv.delivered_segments(), 2u);
+}
+
+TEST(Tcp, UnboundedTransferReportsRunningThroughput) {
+  TcpHarness h(100e6, 0.5e-3, 128e3, TcpSender::kUnbounded);
+  h.sender->start(0.0);
+  h.events.run_until(2.0);
+  EXPECT_FALSE(h.sender->finished());
+  const double rate = h.sender->throughput_bps(2.0);
+  EXPECT_GT(rate, 60e6);
+}
+
+}  // namespace
+}  // namespace choreo::packetsim

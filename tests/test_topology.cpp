@@ -1,0 +1,126 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace choreo::net {
+namespace {
+
+TEST(Topology, DuplexLinksComeInTwinPairs) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::Host, "a");
+  const NodeId b = t.add_node(NodeKind::Host, "b");
+  const LinkId fwd = t.add_duplex_link(a, b, 1e9, 1e-6);
+  const Link& f = t.link(fwd);
+  const Link& r = t.link(f.reverse);
+  EXPECT_EQ(f.src, a);
+  EXPECT_EQ(f.dst, b);
+  EXPECT_EQ(r.src, b);
+  EXPECT_EQ(r.dst, a);
+  EXPECT_EQ(r.reverse, fwd);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.out_links(a).size(), 1u);
+  EXPECT_EQ(t.out_links(b).size(), 1u);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::Host, "a");
+  EXPECT_THROW(t.add_duplex_link(a, a, 1e9, 0.0), PreconditionError);
+  EXPECT_THROW(t.add_duplex_link(a, 99, 1e9, 0.0), PreconditionError);
+  const NodeId b = t.add_node(NodeKind::Host, "b");
+  EXPECT_THROW(t.add_duplex_link(a, b, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(t.add_duplex_link(a, b, 1e9, -1.0), PreconditionError);
+}
+
+TEST(MultiRootedTree, NodeCounts) {
+  TreeParams p;
+  p.pods = 2;
+  p.racks_per_pod = 3;
+  p.hosts_per_rack = 4;
+  p.aggs_per_pod = 2;
+  p.cores = 2;
+  const Topology t = make_multi_rooted_tree(p);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::Host).size(), 24u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::Tor).size(), 6u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::Agg).size(), 4u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::Core).size(), 2u);
+  // Links: agg-core 4*2, tor-agg 6*2, host-tor 24 => 20+24 duplex = 88 directed.
+  EXPECT_EQ(t.link_count(), 2u * (8 + 12 + 24));
+}
+
+TEST(MultiRootedTree, RackAndPodLabels) {
+  TreeParams p;
+  p.pods = 2;
+  p.racks_per_pod = 2;
+  p.hosts_per_rack = 2;
+  const Topology t = make_multi_rooted_tree(p);
+  int max_rack = -1;
+  for (NodeId h : t.nodes_of_kind(NodeKind::Host)) {
+    EXPECT_GE(t.node(h).rack, 0);
+    EXPECT_GE(t.node(h).pod, 0);
+    max_rack = std::max(max_rack, t.node(h).rack);
+  }
+  EXPECT_EQ(max_rack, 3);  // 4 racks total, 0-indexed
+}
+
+TEST(RegionalTree, RegionsAreStamped) {
+  RegionalTreeParams p;
+  p.regions = 2;
+  p.super_cores = 2;
+  p.region.pods = 2;
+  p.region.racks_per_pod = 2;
+  p.region.hosts_per_rack = 2;
+  const Topology t = make_regional_tree(p);
+  int seen_regions = 0;
+  std::vector<bool> seen(2, false);
+  for (NodeId h : t.nodes_of_kind(NodeKind::Host)) {
+    const int r = t.node(h).region;
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 2);
+    if (!seen[static_cast<std::size_t>(r)]) {
+      seen[static_cast<std::size_t>(r)] = true;
+      ++seen_regions;
+    }
+  }
+  EXPECT_EQ(seen_regions, 2);
+}
+
+TEST(RegionalTree, SingleRegionHasNoSuperCores) {
+  RegionalTreeParams p;
+  p.regions = 1;
+  p.region.pods = 1;
+  p.region.racks_per_pod = 1;
+  p.region.hosts_per_rack = 2;
+  p.region.cores = 2;
+  const Topology t = make_regional_tree(p);
+  // cores = region cores only.
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::Core).size(), 2u);
+}
+
+TEST(SharedLinkTopology, MatchesFig3a) {
+  const SharedLinkTopology s = make_shared_link(10, 1e9);
+  EXPECT_EQ(s.senders.size(), 10u);
+  EXPECT_EQ(s.receivers.size(), 10u);
+  const Link& shared = s.topo.link(s.shared_link);
+  EXPECT_DOUBLE_EQ(shared.capacity_bps, 1e9);
+  // 1 shared + 10 sender + 10 receiver duplex links.
+  EXPECT_EQ(s.topo.link_count(), 2u * 21);
+}
+
+TEST(TwoRackTopology, MatchesFig3b) {
+  const TwoRackTopology s = make_two_rack_cloud(10);
+  EXPECT_EQ(s.senders.size(), 10u);
+  const Link& up = s.topo.link(s.sender_uplink);
+  EXPECT_DOUBLE_EQ(up.capacity_bps, 10e9);
+  // Host links are 1G.
+  const Link& host_link = s.topo.link(s.topo.out_links(s.senders[0]).front());
+  EXPECT_DOUBLE_EQ(host_link.capacity_bps, 1e9);
+}
+
+TEST(NodeKindNames, Strings) {
+  EXPECT_STREQ(to_string(NodeKind::Host), "host");
+  EXPECT_STREQ(to_string(NodeKind::Core), "core");
+}
+
+}  // namespace
+}  // namespace choreo::net

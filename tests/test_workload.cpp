@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace choreo::workload {
+namespace {
+
+TEST(Generator, AllPatternsProduceValidApps) {
+  Rng rng(1);
+  GeneratorConfig cfg;
+  for (Pattern p : {Pattern::MapReduce, Pattern::ScatterGather, Pattern::Pipeline,
+                    Pattern::Star, Pattern::Uniform}) {
+    for (int i = 0; i < 10; ++i) {
+      const place::Application app = generate_app(rng, p, cfg);
+      app.validate();
+      EXPECT_GE(app.task_count(), 3u);
+      EXPECT_LE(app.task_count(), cfg.max_tasks);
+      EXPECT_GT(app.traffic_bytes.total(), 0.0);
+      for (double c : app.cpu_demand) {
+        EXPECT_GE(c, cfg.min_cpu);
+        EXPECT_LE(c, cfg.max_cpu);
+      }
+    }
+  }
+}
+
+TEST(Generator, MapReduceIsBipartite) {
+  Rng rng(2);
+  GeneratorConfig cfg;
+  const place::Application app = generate_app(rng, Pattern::MapReduce, cfg);
+  // Some split point: tasks before it only send, tasks after only receive.
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    const bool sends = app.traffic_bytes.row_sum(i) > 0.0;
+    const bool receives = app.traffic_bytes.col_sum(i) > 0.0;
+    EXPECT_TRUE(sends != receives) << "task " << i << " both sends and receives";
+  }
+}
+
+TEST(Generator, UniformPatternHasLowVariance) {
+  Rng rng(3);
+  GeneratorConfig cfg;
+  const place::Application app = generate_app(rng, Pattern::Uniform, cfg);
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      if (i == j) continue;
+      lo = std::min(lo, app.traffic_bytes(i, j));
+      hi = std::max(hi, app.traffic_bytes(i, j));
+    }
+  }
+  EXPECT_LT(hi / lo, 1.5);  // the §7.1 "relatively uniform" case
+}
+
+TEST(Generator, PipelineIsAChain) {
+  Rng rng(4);
+  const place::Application app = generate_app(rng, Pattern::Pipeline, GeneratorConfig{});
+  std::size_t transfers = 0;
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      if (app.traffic_bytes(i, j) > 0.0) {
+        ++transfers;
+        EXPECT_EQ(j, i + 1);
+      }
+    }
+  }
+  EXPECT_EQ(transfers, app.task_count() - 1);
+}
+
+TEST(Generator, WeightedMixIsDeterministicPerSeed) {
+  Rng a(5), b(5);
+  const auto app1 = generate_app(a, GeneratorConfig{});
+  const auto app2 = generate_app(b, GeneratorConfig{});
+  EXPECT_EQ(app1.name, app2.name);
+  EXPECT_TRUE(app1.traffic_bytes == app2.traffic_bytes);
+}
+
+TEST(Trace, GeneratesThreeWeeksOfApps) {
+  TraceConfig cfg;
+  cfg.apps_per_day = 24.0;
+  const HpCloudTrace trace(7, cfg);
+  EXPECT_GT(trace.apps().size(), 200u);  // ~500 expected over 21 days
+  double last = -1.0;
+  for (const TraceApp& a : trace.apps()) {
+    EXPECT_GT(a.start_s, last);  // strictly ordered arrivals
+    last = a.start_s;
+    EXPECT_LE(a.start_s, cfg.duration_hours * 3600.0);
+  }
+}
+
+TEST(Trace, SampleBatchZeroesArrivals) {
+  const HpCloudTrace trace(7, TraceConfig{});
+  Rng rng(9);
+  const auto batch = trace.sample_batch(rng, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  for (const auto& app : batch) EXPECT_DOUBLE_EQ(app.arrival_s, 0.0);
+}
+
+TEST(Trace, SampleSequencePreservesOrderAndRescalesGaps) {
+  const HpCloudTrace trace(7, TraceConfig{});
+  Rng rng(9);
+  const auto seq = trace.sample_sequence(rng, 4, /*mean_gap_s=*/60.0);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_DOUBLE_EQ(seq[0].arrival_s, 0.0);
+  double total_gap = 0.0;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_GE(seq[i].arrival_s, seq[i - 1].arrival_s);
+    total_gap += seq[i].arrival_s - seq[i - 1].arrival_s;
+  }
+  EXPECT_NEAR(total_gap / 3.0, 60.0, 1e-6);
+}
+
+TEST(Predictors, GoodOnDiurnalSeries) {
+  // Build a synthetic series matching the generator's model and confirm the
+  // §2.1 claim: prev-hour and time-of-day predict the next hour well.
+  TraceConfig cfg;
+  const HpCloudTrace trace(11, cfg);
+  // Find an app with a long series.
+  const TraceApp* chosen = nullptr;
+  for (const TraceApp& a : trace.apps()) {
+    if (a.hourly_bytes.size() > 24 * 7) {
+      chosen = &a;
+      break;
+    }
+  }
+  ASSERT_NE(chosen, nullptr);
+  const PredictorScore prev = score_prev_hour(chosen->hourly_bytes);
+  const PredictorScore tod = score_time_of_day(chosen->hourly_bytes);
+  const PredictorScore blend = score_blend(chosen->hourly_bytes);
+  EXPECT_GT(prev.samples, 100u);
+  // "Good predictors": well under a factor of two.
+  EXPECT_LT(prev.mean_rel_error, 0.5);
+  EXPECT_LT(tod.mean_rel_error, 0.8);
+  EXPECT_LT(blend.mean_rel_error, 0.5);
+}
+
+TEST(Predictors, PrevHourExactOnConstantSeries) {
+  const std::vector<double> flat(50, 42.0);
+  EXPECT_DOUBLE_EQ(score_prev_hour(flat).mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(score_time_of_day(flat, 10).mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(score_blend(flat, 10).mean_rel_error, 0.0);
+}
+
+TEST(Predictors, EmptySeries) {
+  EXPECT_EQ(score_prev_hour({}).samples, 0u);
+  EXPECT_EQ(score_time_of_day({}).samples, 0u);
+}
+
+}  // namespace
+}  // namespace choreo::workload
