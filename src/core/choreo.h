@@ -41,17 +41,29 @@ struct ChoreoConfig {
 /// integration point the examples and the §6 benches drive.
 class Choreo {
  public:
+  /// Opaque identifier for a placed application, returned by
+  /// place_application and valid until remove_application. Never reused
+  /// within one Choreo instance.
   using AppHandle = std::size_t;
 
+  /// Manages `vms` (the tenant's rented fleet) on `cloud`. The Cloud must
+  /// outlive this object; Choreo only interacts with it through the tenant
+  /// interface (packet trains, traceroute, transfers — §2.2).
   Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig config);
 
+  /// The tenant's fleet, in the index order used by ClusterView/Placement
+  /// machine indices.
   const std::vector<cloud::VmId>& vms() const { return vms_; }
   const ChoreoConfig& config() const { return config_; }
 
-  /// Runs the measurement phase: packet trains across all VM pairs (plus
-  /// traceroute clustering), refreshing the cluster view placements use.
-  /// Returns the wall-clock seconds the phase would take on the real cloud
-  /// ("less than three minutes for a ten-node topology", §4.1).
+  /// Runs the measurement phase (§4.1): packet trains across all ordered VM
+  /// pairs (plus traceroute clustering), refreshing the cluster view
+  /// placements use. `epoch` selects the cloud's cross-traffic snapshot —
+  /// the same epoch always observes the same network conditions, which is
+  /// what makes runs reproducible. Returns the wall-clock seconds the phase
+  /// would take on the real cloud ("less than three minutes for a ten-node
+  /// topology", §4.1) — or 0.0 when config().use_measured_view is false, in
+  /// which case the view comes from ground truth and no trains are sent.
   double measure_network(std::uint64_t epoch);
 
   /// The tenant's current knowledge of its cluster.
@@ -59,21 +71,29 @@ class Choreo {
   /// Cluster occupancy (committed placements).
   const place::ClusterState& state() const;
 
-  /// Places a new application with the greedy algorithm on the current
-  /// state and commits it. Requires measure_network() to have run.
+  /// Places a new application with the greedy algorithm (§5, Algorithm 1)
+  /// on the current state and commits it. Requires measure_network() to
+  /// have run; throws place::PlacementError if no assignment satisfies the
+  /// CPU capacities and app.constraints.
   AppHandle place_application(const place::Application& app);
 
-  /// Places with a caller-supplied algorithm instead (baselines, ILP).
+  /// Places with a caller-supplied algorithm instead (§5.2 ILP, §6
+  /// baselines). Same commit semantics and failure behaviour as above.
   AppHandle place_application(const place::Application& app, place::Placer& placer);
 
-  /// Releases a finished application's resources.
+  /// Releases a finished application's CPU reservations (§2.4 life cycle);
+  /// `handle` becomes invalid.
   void remove_application(AppHandle handle);
 
+  /// A committed application: its profiled traffic matrix (bytes between
+  /// task pairs, §2.3) and the task → machine-index assignment.
   struct RunningApp {
     place::Application app;
     place::Placement placement;
   };
+  /// All currently committed applications, keyed by handle.
   const std::map<AppHandle, RunningApp>& running() const { return running_; }
+  /// The committed assignment for `handle`; machine indices refer to vms().
   const place::Placement& placement_of(AppHandle handle) const;
 
   /// §2.4 re-evaluation: re-measures, re-places every running application
@@ -81,15 +101,24 @@ class Choreo {
   /// estimated completion-time gain exceeds the migration cost.
   struct ReevalReport {
     std::size_t apps_considered = 0;
+    /// Tasks whose machine changed under the candidate plan — reported even
+    /// when the plan was rejected, so check `adopted` before counting these
+    /// as actual migrations.
     std::size_t tasks_migrated = 0;
+    /// Predicted completion-time improvement of the candidate plan, seconds.
     double estimated_gain_s = 0.0;
+    /// tasks_to_move * ChoreoConfig::migration_cost_per_task_s, seconds.
     double migration_cost_s = 0.0;
+    /// True iff the candidate plan was committed (gain exceeded cost).
     bool adopted = false;
   };
   ReevalReport reevaluate(std::uint64_t epoch);
 
-  /// Converts a placed application into the concrete VM-to-VM transfers to
-  /// execute on the cloud.
+  /// Converts a placed application into the concrete VM-to-VM transfers
+  /// (source VM, destination VM, bytes) to execute on the cloud, all
+  /// starting at `start_s` seconds of cloud time. Zero-byte traffic-matrix
+  /// entries produce no transfer; co-located pairs produce src == dst
+  /// transfers the cloud completes instantly.
   std::vector<cloud::Cloud::Transfer> transfers_for(const place::Application& app,
                                                     const place::Placement& placement,
                                                     double start_s) const;

@@ -14,14 +14,16 @@ namespace choreo::measure {
 /// ordered pair, scheduled in rounds so that no VM sources two trains at
 /// once (they would share the hose and bias each other).
 struct MeasurementPlan {
-  packetsim::TrainParams train;  ///< calibrated per provider (§4.1)
-  /// Fixed per-round cost: starting receivers, collecting timestamp logs,
-  /// shipping them to the coordinator.
+  packetsim::TrainParams train;  ///< calibrated per provider (§4.1, Fig 6)
+  /// Fixed per-round cost in seconds: starting receivers, collecting
+  /// timestamp logs, shipping them to the coordinator.
   double round_overhead_s = 8.0;
-  /// One-off cost of setting up / tearing down the measurement servers.
+  /// One-off cost in seconds of setting up / tearing down the measurement
+  /// servers.
   double setup_overhead_s = 30.0;
 };
 
+/// Output of one measurement phase over a fleet (§4.1).
 struct MatrixResult {
   /// Estimated single-connection throughput per ordered VM pair (bits/s);
   /// diagonal entries are zero.
@@ -29,11 +31,13 @@ struct MatrixResult {
   /// Wall-clock the measurement would take on the real cloud — the quantity
   /// behind "less than three minutes for a ten-node topology".
   double wall_time_s = 0.0;
-  std::size_t pairs_measured = 0;
-  std::size_t rounds = 0;
+  std::size_t pairs_measured = 0;  ///< N * (N - 1) ordered pairs
+  std::size_t rounds = 0;          ///< scheduling rounds (no VM sources twice per round)
 };
 
-/// Measures every ordered pair among `vms` with packet trains.
+/// Measures every ordered pair among `vms` with packet trains (§4.1).
+/// `epoch` selects the cloud's cross-traffic snapshot, making repeated
+/// measurements of the same epoch reproducible.
 MatrixResult measure_rate_matrix(cloud::Cloud& cloud, const std::vector<cloud::VmId>& vms,
                                  const MeasurementPlan& plan, std::uint64_t epoch);
 

@@ -14,17 +14,24 @@ class PlacementError : public std::runtime_error {
   explicit PlacementError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Interface of all placement algorithms. Implementations may keep internal
+/// Interface of all placement algorithms compared in the paper: Choreo's
+/// greedy (§5, Algorithm 1), the optimal ILP (§5.2), and the §6 baselines
+/// (random, round-robin, min-machines). Implementations may keep internal
 /// state across calls (e.g., round-robin position, RNG), which is why
 /// `place` is non-const. They never mutate the ClusterState — committing a
 /// placement is the caller's decision.
 class Placer {
  public:
   virtual ~Placer() = default;
+
+  /// Short human-readable algorithm name as used in bench/table output
+  /// (e.g. "greedy", "random").
   virtual std::string name() const = 0;
 
-  /// Maps every task of `app` to a machine, honouring CPU constraints.
-  /// Throws PlacementError if no feasible assignment can be found.
+  /// Maps every task of `app` to a machine index in [0, state.machine_count()),
+  /// honouring CPU-core constraints and `app.constraints` against the
+  /// network view in `state` (measured rates in bits/s, §4.1). Throws
+  /// PlacementError if no feasible assignment can be found.
   virtual Placement place(const Application& app, const ClusterState& state) = 0;
 };
 

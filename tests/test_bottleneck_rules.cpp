@@ -90,7 +90,9 @@ TEST(InterferencePredictionTest, TorRuleIsBroaderThanHoseRule) {
       hose_count += hose.interferes[p][q];
       tor_count += tor.interferes[p][q];
       // Rule 1 subsumes the same-source case.
-      if (hose.interferes[p][q]) EXPECT_TRUE(tor.interferes[p][q]);
+      if (hose.interferes[p][q]) {
+        EXPECT_TRUE(tor.interferes[p][q]);
+      }
     }
   }
   EXPECT_GE(tor_count, hose_count);

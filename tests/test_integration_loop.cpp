@@ -133,7 +133,9 @@ TEST(ClosedLoop, MeasuredViewCloseToTruthView) {
   // Hop data consistent between the two views.
   for (std::size_t i = 0; i < vms.size(); ++i) {
     for (std::size_t j = 0; j < vms.size(); ++j) {
-      if (i != j) EXPECT_DOUBLE_EQ(measured.hops(i, j), truth.hops(i, j));
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(measured.hops(i, j), truth.hops(i, j));
+      }
     }
   }
 }
