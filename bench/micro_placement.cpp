@@ -8,6 +8,8 @@
 
 #include "flowsim/sim.h"
 #include "lp/simplex.h"
+#include "measure/probe_scheduler.h"
+#include "measure/view_cache.h"
 #include "net/topology.h"
 #include "packetsim/event_queue.h"
 #include "packetsim/sink.h"
@@ -94,6 +96,52 @@ void BM_BruteForcePlacement(benchmark::State& state) {
 }
 BENCHMARK(BM_BruteForcePlacement)->Args({4, 5})->Args({5, 6})->Args({5, 7})
     ->Unit(benchmark::kMillisecond);
+
+// §4.1 measurement-plane hot path: edge-coloring the full n(n-1) ordered
+// pair set into conflict-free rounds. This runs on every full sweep and
+// must stay cheap out to production fleet sizes.
+void BM_ProbeScheduleFullMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pairs = measure::all_ordered_pairs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure::schedule_probes(n, pairs));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_ProbeScheduleFullMatrix)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+// Incremental refreshes schedule sparse subsets (the pairs a ViewCache
+// flags), which is the common case in steady state.
+void BM_ProbeScheduleSparseSubset(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(99);
+  std::vector<measure::ProbePair> pairs;
+  for (const measure::ProbePair& p : measure::all_ordered_pairs(n)) {
+    if (rng.chance(0.05)) pairs.push_back(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure::schedule_probes(n, pairs));
+  }
+}
+BENCHMARK(BM_ProbeScheduleSparseSubset)->Arg(50)->Arg(200);
+
+// Refresh planning walks the whole cache each cycle; it must stay trivially
+// cheap next to the probes it saves.
+void BM_ViewCachePlanRefresh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  measure::ViewCache cache(n);
+  Rng rng(7);
+  for (const measure::ProbePair& p : measure::all_ordered_pairs(n)) {
+    cache.store(p.src, p.dst, rng.uniform(3e8, 1.1e9),
+                static_cast<std::uint64_t>(rng.uniform_int(1, 20)));
+  }
+  measure::RefreshPolicy policy;
+  policy.max_age_epochs = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.plan_refresh(21, policy));
+  }
+}
+BENCHMARK(BM_ViewCachePlanRefresh)->Arg(50)->Arg(200);
 
 void BM_SimplexSolve(benchmark::State& state) {
   Rng rng(7);

@@ -49,7 +49,8 @@ int main() {
       const place::Placement p = greedy.place(app, state);
       std::string where;
       for (std::size_t i = 0; i < p.machine_of_task.size(); ++i) {
-        where += (i ? "," : "") + std::to_string(p.machine_of_task[i]);
+        if (i) where += ',';
+        where += std::to_string(p.machine_of_task[i]);
       }
       t.add_row({name, where,
                  fmt(place::estimate_completion_s(app, p, view, place::RateModel::Hose), 1)});

@@ -61,7 +61,8 @@ int main() {
                                                       config.rate_model));
     std::string where;
     for (std::size_t i = 0; i < p.machine_of_task.size(); ++i) {
-      where += (i ? "," : "") + std::to_string(p.machine_of_task[i]);
+      if (i) where += ',';
+      where += std::to_string(p.machine_of_task[i]);
     }
     t.add_row({fmt(app.arrival_s, 0), "arrival: " + app.name + " (" +
                                           std::to_string(app.task_count()) + " tasks)",

@@ -1,7 +1,11 @@
 #include "cloud/cloud.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "util/require.h"
 #include "util/units.h"
@@ -15,6 +19,13 @@ std::uint64_t substream(std::uint64_t seed, std::uint64_t epoch, std::uint64_t s
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// Salt for per-pair noise streams: a train's jitter must depend only on
+/// (seed, epoch, src, dst) so that concurrent and sequential execution of a
+/// round produce byte-identical records.
+std::uint64_t pair_salt(VmId src, VmId dst, std::uint64_t lane) {
+  return 0x5851f42d4c957f2dULL + src * 1000003ULL + dst * 8191ULL + lane;
 }
 
 }  // namespace
@@ -226,12 +237,14 @@ std::vector<double> Cloud::probe_series_bps(VmId src, VmId dst, double duration_
   return series;
 }
 
-std::vector<packetsim::RecordingSink::Record> Cloud::run_train(
-    VmId src, VmId dst, const packetsim::TrainParams& params, std::uint64_t epoch) {
+std::vector<packetsim::RecordingSink::Record> Cloud::send_train_impl(
+    VmId src, VmId dst, const packetsim::TrainParams& params, std::uint64_t sink_seed,
+    std::uint64_t route_key, const std::function<double()>& shaper_jitter_frac,
+    const TrafficSnapshot* snapshot) const {
   CHOREO_REQUIRE(src < vms_.size() && dst < vms_.size());
   CHOREO_REQUIRE(src != dst);
   packetsim::EventQueue events;
-  packetsim::RecordingSink sink(profile_.timestamp_jitter_s, substream(seed_, epoch, 21));
+  packetsim::RecordingSink sink(profile_.timestamp_jitter_s, sink_seed);
 
   const net::NodeId src_host = vms_[src].host;
   const net::NodeId dst_host = vms_[dst].host;
@@ -244,17 +257,22 @@ std::vector<packetsim::RecordingSink::Record> Cloud::run_train(
   } else {
     shaper.enabled = true;
     // Virtualization noise: this train observes the hose through one
-    // scheduling quantum, not the long-run average.
-    shaper.rate_bps = vms_[src].hose_bps *
-                      (1.0 + noise_rng_.normal(0.0, profile_.train_rate_jitter_frac));
+    // scheduling quantum, not the long-run average. The jitter draw happens
+    // only on this branch, so same-host trains consume no randomness.
+    shaper.rate_bps = vms_[src].hose_bps * (1.0 + shaper_jitter_frac());
     shaper.rate_bps = std::max(shaper.rate_bps, units::mbps(10));
     shaper.depth_bytes = profile_.bucket_depth_bytes;
     shaper.idle_reset_s = profile_.bucket_idle_reset_s;
-    const net::Route route = router_.route(src_host, dst_host, substream(seed_, epoch, 22));
+    const net::Route route = router_.route(src_host, dst_host, route_key);
     hops.reserve(route.links.size());
     for (net::LinkId l : route.links) {
       const net::Link& link = topo_.link(l);
-      hops.push_back(packetsim::HopSpec{link.capacity_bps, link.delay_s, 2e6});
+      // With a snapshot, each hop is capped at what the background tenants
+      // left over; without one the train sees raw link capacity.
+      const double cap = snapshot && l < snapshot->available_bps.size()
+                             ? std::min(link.capacity_bps, snapshot->available_bps[l])
+                             : link.capacity_bps;
+      hops.push_back(packetsim::HopSpec{cap, link.delay_s, 2e6});
     }
   }
 
@@ -264,6 +282,97 @@ std::vector<packetsim::RecordingSink::Record> Cloud::run_train(
   packetsim::send_train(events, path.entry(), tuned, /*flow_id=*/1, /*start_time=*/0.0);
   events.run();
   return sink.records();
+}
+
+std::vector<packetsim::RecordingSink::Record> Cloud::run_train(
+    VmId src, VmId dst, const packetsim::TrainParams& params, std::uint64_t epoch) {
+  return send_train_impl(src, dst, params, substream(seed_, epoch, 21),
+                         substream(seed_, epoch, 22),
+                         [this] { return noise_rng_.normal(0.0, profile_.train_rate_jitter_frac); },
+                         /*snapshot=*/nullptr);
+}
+
+Cloud::TrafficSnapshot Cloud::traffic_snapshot(std::uint64_t epoch) const {
+  TrafficSnapshot snap;
+  snap.epoch = epoch;
+  auto bundle = make_sim(epoch, /*with_background=*/true);
+  // Let the ON-OFF background settle into its epoch state before sampling —
+  // the same warm-up true_path_rate_bps uses.
+  bundle->sim.run_until(1e-3);
+  const auto loads = bundle->sim.link_loads();
+  snap.available_bps.resize(loads.size());
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const double cap = topo_.link(l).capacity_bps;
+    // Residual capacity, floored at the max-min share a persistent probe
+    // would win back from the background flows sharing the link.
+    const double fair = cap / static_cast<double>(loads[l].flows + 1);
+    snap.available_bps[l] = std::max(cap - loads[l].used_bps, fair);
+  }
+  return snap;
+}
+
+std::vector<packetsim::RecordingSink::Record> Cloud::run_train_in_snapshot(
+    VmId src, VmId dst, const packetsim::TrainParams& params,
+    const TrafficSnapshot& snapshot) const {
+  // Same train construction as run_train, but every noise stream is keyed by
+  // (seed, epoch, src, dst) instead of shared order-dependent RNG state, and
+  // hop capacities come from the round's cross-traffic snapshot.
+  const std::uint64_t epoch = snapshot.epoch;
+  const auto jitter = [&] {
+    Rng rng(substream(seed_, epoch, pair_salt(src, dst, 1)));
+    return rng.normal(0.0, profile_.train_rate_jitter_frac);
+  };
+  return send_train_impl(src, dst, params, substream(seed_, epoch, pair_salt(src, dst, 0)),
+                         substream(seed_, epoch, pair_salt(src, dst, 2)), jitter,
+                         &snapshot);
+}
+
+std::vector<std::vector<packetsim::RecordingSink::Record>> Cloud::run_train_round(
+    const std::vector<std::pair<VmId, VmId>>& pairs,
+    const packetsim::TrainParams& params, const TrafficSnapshot& snapshot,
+    unsigned workers) const {
+  CHOREO_REQUIRE(!pairs.empty());
+  // Enforce the conflict-free contract: a VM sourcing (or sinking) two
+  // simultaneous trains would share its hose (vNIC) between them and bias
+  // both estimates (§4.1).
+  std::vector<char> src_busy(vms_.size(), 0), dst_busy(vms_.size(), 0);
+  for (const auto& [s, d] : pairs) {
+    CHOREO_REQUIRE(s < vms_.size() && d < vms_.size() && s != d);
+    CHOREO_REQUIRE_MSG(!src_busy[s] && !dst_busy[d],
+                       "round is not conflict-free: a VM appears twice");
+    src_busy[s] = dst_busy[d] = 1;
+  }
+
+  std::vector<std::vector<packetsim::RecordingSink::Record>> out(pairs.size());
+  const unsigned n_workers =
+      std::max(1u, std::min<unsigned>(workers, static_cast<unsigned>(pairs.size())));
+  if (n_workers == 1) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = run_train_in_snapshot(pairs[i].first, pairs[i].second, params, snapshot);
+    }
+    return out;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < pairs.size(); i = next.fetch_add(1)) {
+      try {
+        out[i] = run_train_in_snapshot(pairs[i].first, pairs[i].second, params, snapshot);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
 }
 
 Cloud::ExecResult Cloud::execute(const std::vector<Transfer>& transfers,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -85,8 +86,45 @@ class Cloud {
 
   /// Sends one §3.1 UDP packet train src->dst through the packet-level
   /// simulator and returns the receiver's timestamped packet log.
+  ///
+  /// Noise here is drawn from a shared mutable RNG, so results depend on
+  /// call order; the measurement plane uses the order-independent
+  /// run_train_in_snapshot instead.
   std::vector<packetsim::RecordingSink::Record> run_train(
       VmId src, VmId dst, const packetsim::TrainParams& params, std::uint64_t epoch);
+
+  /// One epoch's view of the background tenants, shared by every train of a
+  /// measurement round: the capacity each fabric link has left after the
+  /// other tenants' flows, plus their per-link flow counts. Computing it once
+  /// per round means concurrent trains of that round observe the *same*
+  /// cross-traffic realization — the invariant that keeps parallel probing
+  /// equivalent to sequential probing.
+  struct TrafficSnapshot {
+    std::uint64_t epoch = 0;
+    /// Per net::LinkId: capacity minus background usage (floored at a fair
+    /// max-min share, since a persistent probe would claw that back).
+    std::vector<double> available_bps;
+  };
+
+  /// Builds the cross-traffic snapshot for `epoch` (deterministic; const).
+  TrafficSnapshot traffic_snapshot(std::uint64_t epoch) const;
+
+  /// Order-independent packet train: identical (src, dst, params, snapshot)
+  /// always produce identical records, no matter how many other trains ran
+  /// before or run concurrently — all jitter derives from (seed, epoch, src,
+  /// dst). Thread-safe: const, touches no mutable state.
+  std::vector<packetsim::RecordingSink::Record> run_train_in_snapshot(
+      VmId src, VmId dst, const packetsim::TrainParams& params,
+      const TrafficSnapshot& snapshot) const;
+
+  /// Runs one conflict-free round of trains — no VM may appear twice as a
+  /// source or twice as a destination — on up to `workers` threads. Results
+  /// are parallel to `pairs` and byte-identical for any worker count
+  /// (pinned by test_determinism).
+  std::vector<std::vector<packetsim::RecordingSink::Record>> run_train_round(
+      const std::vector<std::pair<VmId, VmId>>& pairs,
+      const packetsim::TrainParams& params, const TrafficSnapshot& snapshot,
+      unsigned workers = 1) const;
 
   // ---- harness primitives -------------------------------------------------
 
@@ -139,6 +177,14 @@ class Cloud {
 
   double draw_hose_rate(Rng& rng) const;
   void add_background(SimBundle& bundle, std::uint64_t epoch) const;
+  /// Shared train construction behind run_train and run_train_in_snapshot;
+  /// `shaper_jitter_frac` is invoked only for inter-host trains, `snapshot`
+  /// (optional) caps hop capacities at the background's leftovers.
+  std::vector<packetsim::RecordingSink::Record> send_train_impl(
+      VmId src, VmId dst, const packetsim::TrainParams& params,
+      std::uint64_t sink_seed, std::uint64_t route_key,
+      const std::function<double()>& shaper_jitter_frac,
+      const TrafficSnapshot* snapshot) const;
 
   ProviderProfile profile_;
   std::uint64_t seed_;

@@ -15,13 +15,20 @@ Choreo::Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig c
 
 double Choreo::measure_network(std::uint64_t epoch) {
   place::ClusterView view;
-  double wall = 0.0;
+  last_measure_ = MeasureReport{};
   if (config_.use_measured_view) {
-    view = measure::measured_cluster_view(cloud_, vms_, config_.plan, epoch);
-    // Recompute the wall time the same way the view's measurement did.
-    wall = config_.plan.setup_overhead_s +
-           static_cast<double>(vms_.size() - 1) *
-               (measure::train_duration_s(config_.plan.train) + config_.plan.round_overhead_s);
+    if (!config_.incremental_refresh) {
+      // Full sweep every cycle: forget everything, then refresh.
+      cache_ = measure::ViewCache(vms_.size());
+    }
+    const std::size_t known_before = cache_.measured_pairs();
+    measure::RefreshResult refreshed = measure::refresh_cluster_view(
+        cloud_, vms_, config_.plan, epoch, cache_, config_.refresh);
+    view = std::move(refreshed.view);
+    last_measure_.wall_time_s = refreshed.wall_time_s;
+    last_measure_.pairs_probed = refreshed.pairs_probed;
+    last_measure_.rounds = refreshed.rounds;
+    last_measure_.incremental = known_before > 0;
   } else {
     view = measure::true_cluster_view(cloud_, vms_, epoch);
   }
@@ -33,7 +40,7 @@ double Choreo::measure_network(std::uint64_t epoch) {
   }
   state_ = std::move(fresh);
   measured_ = true;
-  return wall;
+  return last_measure_.wall_time_s;
 }
 
 const place::ClusterView& Choreo::view() const {
@@ -95,8 +102,10 @@ Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
 
   // Refresh the network picture first (§2.4: "Choreo re-measures the
   // network" and "this re-evaluation also allows Choreo to react to major
-  // changes in the network").
+  // changes in the network"). With incremental_refresh on, only stale or
+  // volatile pairs are re-probed — the report records the saved probes.
   measure_network(epoch);
+  report.measurement = last_measure_;
 
   // Current plan cost.
   std::vector<std::pair<const place::Application*, const place::Placement*>> current;
@@ -126,7 +135,7 @@ Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
   }
   const double proposed_cost = estimated_total_completion(proposed);
 
-  report.tasks_migrated = moved;
+  report.tasks_to_move = moved;
   report.estimated_gain_s = current_cost - proposed_cost;
   report.migration_cost_s =
       static_cast<double>(moved) * config_.migration_cost_per_task_s;
@@ -141,6 +150,7 @@ Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
       state_->commit(entry.app, entry.placement);
     }
     report.adopted = true;
+    report.tasks_migrated = moved;
   }
   return report;
 }

@@ -17,6 +17,14 @@ struct ChoreoConfig {
   /// Packet-train schedule used by the measurement phase; calibrate per
   /// provider (§4.1).
   measure::MeasurementPlan plan;
+  /// Staleness rules for incremental refresh: which cached pair estimates a
+  /// measurement cycle re-probes (never measured / older than max_age_epochs
+  /// / volatile per the §2.1 predictability signal).
+  measure::RefreshPolicy refresh;
+  /// When true (default), measure_network() after the first full sweep only
+  /// re-probes the pairs the refresh policy flags; when false every cycle
+  /// re-measures the entire matrix from scratch.
+  bool incremental_refresh = true;
   /// Rate model for the greedy placement (hose matches what §4.3 found on
   /// EC2 and Rackspace).
   place::RateModel rate_model = place::RateModel::Hose;
@@ -56,15 +64,33 @@ class Choreo {
   const std::vector<cloud::VmId>& vms() const { return vms_; }
   const ChoreoConfig& config() const { return config_; }
 
-  /// Runs the measurement phase (§4.1): packet trains across all ordered VM
-  /// pairs (plus traceroute clustering), refreshing the cluster view
-  /// placements use. `epoch` selects the cloud's cross-traffic snapshot —
-  /// the same epoch always observes the same network conditions, which is
-  /// what makes runs reproducible. Returns the wall-clock seconds the phase
-  /// would take on the real cloud ("less than three minutes for a ten-node
-  /// topology", §4.1) — or 0.0 when config().use_measured_view is false, in
-  /// which case the view comes from ground truth and no trains are sent.
+  /// What one measurement cycle cost: the §4.1 overhead accounting the
+  /// benches track, now with probe counts so incremental refreshes are
+  /// visible.
+  struct MeasureReport {
+    /// Modeled wall-clock on the real cloud ("less than three minutes for a
+    /// ten-node topology", §4.1); 0 when nothing was probed.
+    double wall_time_s = 0.0;
+    std::size_t pairs_probed = 0;  ///< n(n-1) on a full sweep, fewer after
+    std::size_t rounds = 0;        ///< conflict-free concurrent-train rounds
+    /// True when this cycle re-used cached estimates (probed a strict subset).
+    bool incremental = false;
+  };
+
+  /// Runs the measurement phase (§4.1): packet trains scheduled into
+  /// conflict-free rounds (plus traceroute clustering), refreshing the
+  /// cluster view placements use. The first call probes every ordered pair;
+  /// later calls re-probe only stale/volatile pairs unless
+  /// config().incremental_refresh is false. `epoch` selects the cloud's
+  /// cross-traffic snapshot — the same epoch always observes the same
+  /// network conditions, which is what makes runs reproducible. Returns the
+  /// wall-clock seconds the phase would take on the real cloud — or 0.0 when
+  /// config().use_measured_view is false, in which case the view comes from
+  /// ground truth and no trains are sent.
   double measure_network(std::uint64_t epoch);
+
+  /// Detailed accounting of the most recent measure_network() cycle.
+  const MeasureReport& last_measure() const { return last_measure_; }
 
   /// The tenant's current knowledge of its cluster.
   const place::ClusterView& view() const;
@@ -96,14 +122,17 @@ class Choreo {
   /// The committed assignment for `handle`; machine indices refer to vms().
   const place::Placement& placement_of(AppHandle handle) const;
 
-  /// §2.4 re-evaluation: re-measures, re-places every running application
-  /// from scratch (in arrival order), and adopts the new plan if the
-  /// estimated completion-time gain exceeds the migration cost.
+  /// §2.4 re-evaluation: refreshes the network view incrementally, re-places
+  /// every running application from scratch (in arrival order), and adopts
+  /// the new plan if the estimated completion-time gain exceeds the
+  /// migration cost.
   struct ReevalReport {
     std::size_t apps_considered = 0;
-    /// Tasks whose machine changed under the candidate plan — reported even
-    /// when the plan was rejected, so check `adopted` before counting these
-    /// as actual migrations.
+    /// Tasks whose machine would change under the candidate plan — reported
+    /// even when the plan is rejected.
+    std::size_t tasks_to_move = 0;
+    /// Tasks actually migrated: tasks_to_move when the plan was adopted,
+    /// zero otherwise. Safe to accumulate without checking `adopted`.
     std::size_t tasks_migrated = 0;
     /// Predicted completion-time improvement of the candidate plan, seconds.
     double estimated_gain_s = 0.0;
@@ -111,6 +140,8 @@ class Choreo {
     double migration_cost_s = 0.0;
     /// True iff the candidate plan was committed (gain exceeded cost).
     bool adopted = false;
+    /// Cost of the measurement refresh this re-evaluation triggered.
+    MeasureReport measurement;
   };
   ReevalReport reevaluate(std::uint64_t epoch);
 
@@ -136,6 +167,10 @@ class Choreo {
   std::map<AppHandle, RunningApp> running_;
   AppHandle next_handle_ = 1;
   bool measured_ = false;
+  /// Epoch-stamped pair estimates carried across measurement cycles — what
+  /// makes measure_network() incremental after the first sweep.
+  measure::ViewCache cache_;
+  MeasureReport last_measure_;
 };
 
 }  // namespace choreo::core

@@ -25,9 +25,15 @@ SessionLog Controller::run(const std::vector<place::Application>& apps) {
 
   Choreo choreo(cloud_, vms_, config_.choreo);
   std::uint64_t epoch = 1;
-  choreo.measure_network(epoch++);
-
   SessionLog log;
+
+  const auto measure = [&] {
+    choreo.measure_network(epoch++);
+    log.measurement_wall_s += choreo.last_measure().wall_time_s;
+    log.pairs_probed += choreo.last_measure().pairs_probed;
+  };
+  measure();
+
   log.apps.resize(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i) {
     log.apps[i].name = apps[i].name;
@@ -98,12 +104,19 @@ SessionLog Controller::run(const std::vector<place::Application>& apps) {
     while (next_arrival < apps.size() && apps[next_arrival].arrival_s <= now + 1e-9) {
       const std::size_t idx = next_arrival++;
       log.events.push_back({now, "arrival", apps[idx].name});
-      choreo.measure_network(epoch++);  // §2.4: re-measure before placing
+      measure();  // §2.4: re-measure (incrementally) before placing
       if (!try_place(idx)) {
-        CHOREO_REQUIRE_MSG(config_.queue_when_full,
-                           "application does not fit and queueing is disabled");
-        waiting.push_back(idx);
-        log.events.push_back({now, "deferred", apps[idx].name});
+        if (config_.queue_when_full) {
+          waiting.push_back(idx);
+          log.events.push_back({now, "deferred", apps[idx].name});
+        } else {
+          // Deterministic failure path: the arrival is rejected, logged, and
+          // left unplaced — it never enters the queue and never blocks the
+          // session.
+          log.apps[idx].rejected = true;
+          ++log.rejected;
+          log.events.push_back({now, "rejected", apps[idx].name});
+        }
       }
     }
 
@@ -111,6 +124,8 @@ SessionLog Controller::run(const std::vector<place::Application>& apps) {
     if (!running.empty() && now + 1e-9 >= next_reeval) {
       const auto report = choreo.reevaluate(epoch++);
       ++log.reevaluations;
+      log.measurement_wall_s += report.measurement.wall_time_s;
+      log.pairs_probed += report.measurement.pairs_probed;
       if (report.adopted) {
         ++log.reevaluations_adopted;
         log.tasks_migrated += report.tasks_migrated;

@@ -20,22 +20,26 @@ namespace choreo::core {
 struct ControllerConfig {
   ChoreoConfig choreo;
   /// Applications that do not fit at arrival wait in a FIFO queue and are
-  /// retried at each departure.
+  /// retried at each departure. When false, an arrival that does not fit is
+  /// rejected deterministically: a "rejected" event is logged, the app stays
+  /// unplaced (placed_s < 0), and the session continues.
   bool queue_when_full = true;
 };
 
 struct SessionEvent {
   double time_s = 0.0;
-  std::string kind;    ///< "arrival", "deferred", "placed", "departure",
-                       ///< "reevaluation"
+  std::string kind;    ///< "arrival", "deferred", "rejected", "placed",
+                       ///< "departure", "reevaluation"
   std::string detail;
 };
 
 struct AppOutcome {
   std::string name;
   double arrival_s = 0.0;
-  double placed_s = -1.0;   ///< may be later than arrival if queued
+  double placed_s = -1.0;   ///< may be later than arrival if queued; stays
+                            ///< negative when the app was rejected
   double finished_s = -1.0;
+  bool rejected = false;    ///< did not fit and queue_when_full was false
   place::Placement placement;
 };
 
@@ -45,8 +49,14 @@ struct SessionLog {
   std::size_t reevaluations = 0;
   std::size_t reevaluations_adopted = 0;
   std::size_t tasks_migrated = 0;
+  std::size_t rejected = 0;  ///< arrivals rejected (queue_when_full = false)
   /// Sum over applications of (finished - arrival): the §6.3 metric.
   double total_runtime_s = 0.0;
+  /// Measurement-plane cost of the whole session: modeled wall-clock and
+  /// probe count summed over every measurement cycle (arrivals and
+  /// re-evaluations). Incremental refresh shrinks both.
+  double measurement_wall_s = 0.0;
+  std::size_t pairs_probed = 0;
 };
 
 class Controller {

@@ -250,6 +250,18 @@ std::size_t Sim::active_flow_count() const {
   return n;
 }
 
+std::vector<Sim::LinkLoad> Sim::link_loads() const {
+  std::vector<LinkLoad> loads(topo_.link_count());
+  for (const FlowState& f : flows_) {
+    if (!flow_active(f) || f.rate_bps <= 0.0) continue;
+    for (net::LinkId l : f.route.links) {
+      loads[l].used_bps += f.rate_bps;
+      ++loads[l].flows;
+    }
+  }
+  return loads;
+}
+
 double Sim::makespan() const {
   double best = -1.0;
   for (const FlowState& f : flows_) {

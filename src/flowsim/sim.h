@@ -104,6 +104,18 @@ class Sim {
   /// Current number of actively transmitting flows.
   std::size_t active_flow_count() const;
 
+  /// Instantaneous load on one directed link: allocated rate summed over the
+  /// active flows routed across it, plus their count. The measurement plane
+  /// snapshots this per epoch to model the capacity a probe train has left
+  /// (cloud::Cloud::traffic_snapshot).
+  struct LinkLoad {
+    double used_bps = 0.0;
+    std::size_t flows = 0;
+  };
+
+  /// Per-link loads at the current simulation time, indexed by net::LinkId.
+  std::vector<LinkLoad> link_loads() const;
+
   /// Latest completion time among finished finite flows; -1 if none.
   double makespan() const;
 

@@ -1,0 +1,91 @@
+#include "measure/probe_scheduler.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace choreo::measure {
+
+std::size_t ProbeSchedule::pair_count() const {
+  std::size_t n = 0;
+  for (const auto& round : rounds) n += round.size();
+  return n;
+}
+
+void ProbeSchedule::validate(std::size_t vm_count) const {
+  std::vector<char> seen(vm_count * vm_count, 0);
+  std::vector<char> src_busy(vm_count), dst_busy(vm_count);
+  for (const auto& round : rounds) {
+    CHOREO_REQUIRE_MSG(!round.empty(), "schedule contains an empty round");
+    std::fill(src_busy.begin(), src_busy.end(), 0);
+    std::fill(dst_busy.begin(), dst_busy.end(), 0);
+    for (const ProbePair& p : round) {
+      CHOREO_REQUIRE(p.src < vm_count && p.dst < vm_count && p.src != p.dst);
+      CHOREO_REQUIRE_MSG(!src_busy[p.src], "VM sources two trains in one round");
+      CHOREO_REQUIRE_MSG(!dst_busy[p.dst], "VM sinks two trains in one round");
+      src_busy[p.src] = dst_busy[p.dst] = 1;
+      char& mark = seen[p.src * vm_count + p.dst];
+      CHOREO_REQUIRE_MSG(!mark, "pair scheduled twice");
+      mark = 1;
+    }
+  }
+}
+
+std::vector<ProbePair> all_ordered_pairs(std::size_t vm_count) {
+  std::vector<ProbePair> pairs;
+  pairs.reserve(vm_count * (vm_count - 1));
+  for (std::size_t i = 0; i < vm_count; ++i) {
+    for (std::size_t j = 0; j < vm_count; ++j) {
+      if (i != j) pairs.push_back({i, j});
+    }
+  }
+  return pairs;
+}
+
+ProbeSchedule schedule_probes(std::size_t vm_count, std::vector<ProbePair> pairs) {
+  CHOREO_REQUIRE(vm_count >= 2);
+  ProbeSchedule schedule;
+  if (pairs.empty()) return schedule;
+
+  std::vector<std::size_t> out_degree(vm_count, 0), in_degree(vm_count, 0);
+  for (const ProbePair& p : pairs) {
+    CHOREO_REQUIRE(p.src < vm_count && p.dst < vm_count);
+    CHOREO_REQUIRE_MSG(p.src != p.dst, "self-directed probe pair");
+    ++out_degree[p.src];
+    ++in_degree[p.dst];
+  }
+  for (std::size_t v = 0; v < vm_count; ++v) {
+    schedule.max_degree = std::max({schedule.max_degree, out_degree[v], in_degree[v]});
+  }
+
+  // Offset classes ((dst - src) mod n) are disjoint perfect matchings of the
+  // complete digraph, so sorting by offset lets first-fit pack each class
+  // into one round; src breaks ties deterministically.
+  const auto offset_of = [vm_count](const ProbePair& p) {
+    return (p.dst + vm_count - p.src) % vm_count;
+  };
+  std::sort(pairs.begin(), pairs.end(), [&](const ProbePair& a, const ProbePair& b) {
+    const std::size_t oa = offset_of(a), ob = offset_of(b);
+    if (oa != ob) return oa < ob;
+    return a.src < b.src;
+  });
+
+  // First-fit: place each pair in the earliest round where its source and
+  // destination are both free.
+  std::vector<std::vector<char>> src_busy, dst_busy;  // per round, per VM
+  for (const ProbePair& p : pairs) {
+    std::size_t r = 0;
+    while (r < schedule.rounds.size() && (src_busy[r][p.src] || dst_busy[r][p.dst])) ++r;
+    if (r == schedule.rounds.size()) {
+      schedule.rounds.emplace_back();
+      src_busy.emplace_back(vm_count, 0);
+      dst_busy.emplace_back(vm_count, 0);
+    }
+    schedule.rounds[r].push_back(p);
+    src_busy[r][p.src] = 1;
+    dst_busy[r][p.dst] = 1;
+  }
+  return schedule;
+}
+
+}  // namespace choreo::measure

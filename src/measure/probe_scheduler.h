@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace choreo::measure {
+
+/// One ordered VM pair to probe, as indices into the tenant's fleet vector
+/// (the same machine indices place::ClusterView uses).
+struct ProbePair {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+
+  friend bool operator==(const ProbePair& a, const ProbePair& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+};
+
+/// A conflict-free probe schedule: all trains of one round may run
+/// concurrently because no VM appears as source or destination of two trains
+/// in the same round — concurrent trains out of (or into) one VM would share
+/// its hose and bias each other (§4.1), which is exactly why the paper runs
+/// packet trains "in rounds".
+///
+/// With rounds executing their trains in parallel, the modeled measurement
+/// wall-clock is O(rounds), not O(pairs): n-1 rounds for a full n-VM matrix
+/// instead of n(n-1) sequential trains.
+struct ProbeSchedule {
+  std::vector<std::vector<ProbePair>> rounds;
+  /// Largest number of trains any single VM sources or sinks: the lower
+  /// bound on round count (a bipartite multigraph edge-colors with exactly
+  /// its maximum degree, König).
+  std::size_t max_degree = 0;
+
+  std::size_t round_count() const { return rounds.size(); }
+  std::size_t pair_count() const;
+
+  /// Throws PreconditionError if any round has a VM as source or destination
+  /// twice, any pair is out of range / self-directed, or a pair repeats
+  /// across rounds.
+  void validate(std::size_t vm_count) const;
+};
+
+/// All n(n-1) ordered pairs of an n-VM fleet.
+std::vector<ProbePair> all_ordered_pairs(std::size_t vm_count);
+
+/// Edge-colors `pairs` into conflict-free rounds.
+///
+/// Deterministic greedy first-fit over pairs ordered by
+/// ((dst - src) mod n, src): each offset class touches every VM at most once
+/// as source and once as destination, so for the complete ordered-pair set
+/// this reproduces the classic rotation schedule (round r probes i -> i+r+1
+/// mod n) and uses exactly n-1 rounds. Arbitrary subsets — the incremental
+/// refreshes ViewCache plans — use at most 2*max_degree - 1 rounds and
+/// typically close to max_degree.
+ProbeSchedule schedule_probes(std::size_t vm_count, std::vector<ProbePair> pairs);
+
+}  // namespace choreo::measure

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "cloud/cloud.h"
+#include "measure/probe_scheduler.h"
+#include "measure/view_cache.h"
 #include "packetsim/udp_train.h"
 #include "place/cluster.h"
 #include "util/matrix.h"
@@ -11,8 +13,9 @@
 namespace choreo::measure {
 
 /// How Choreo measures a tenant's N VMs (§2.2, §4.1): one packet train per
-/// ordered pair, scheduled in rounds so that no VM sources two trains at
-/// once (they would share the hose and bias each other).
+/// ordered pair, edge-colored by ProbeScheduler into conflict-free rounds
+/// (no VM is source or sink of two simultaneous trains) that execute their
+/// trains concurrently.
 struct MeasurementPlan {
   packetsim::TrainParams train;  ///< calibrated per provider (§4.1, Fig 6)
   /// Fixed per-round cost in seconds: starting receivers, collecting
@@ -21,7 +24,15 @@ struct MeasurementPlan {
   /// One-off cost in seconds of setting up / tearing down the measurement
   /// servers.
   double setup_overhead_s = 30.0;
+  /// Local worker threads simulating one round's concurrent trains; purely
+  /// a simulation-speed knob — results are byte-identical for any value
+  /// (pinned by test_determinism) and the modeled wall-clock always assumes
+  /// the round's trains overlap on the real cloud.
+  unsigned workers = 1;
 };
+
+/// Modeled wall-clock of a measurement phase that needed `rounds` rounds.
+double measurement_wall_time_s(const MeasurementPlan& plan, std::size_t rounds);
 
 /// Output of one measurement phase over a fleet (§4.1).
 struct MatrixResult {
@@ -32,14 +43,50 @@ struct MatrixResult {
   /// behind "less than three minutes for a ten-node topology".
   double wall_time_s = 0.0;
   std::size_t pairs_measured = 0;  ///< N * (N - 1) ordered pairs
-  std::size_t rounds = 0;          ///< scheduling rounds (no VM sources twice per round)
+  std::size_t rounds = 0;          ///< conflict-free scheduling rounds
 };
+
+/// Output of probing an arbitrary pair subset (the incremental path).
+struct PairsResult {
+  std::vector<double> rate_bps;  ///< parallel to the input pairs
+  double wall_time_s = 0.0;
+  std::size_t rounds = 0;
+};
+
+/// Probes exactly `pairs`: schedules them into conflict-free rounds, runs
+/// each round's trains concurrently against a per-round cross-traffic
+/// snapshot (round r uses epoch + r), and estimates throughput per pair.
+/// This is the primitive both the full matrix and incremental refreshes are
+/// built on.
+PairsResult measure_rate_pairs(cloud::Cloud& cloud, const std::vector<cloud::VmId>& vms,
+                               const std::vector<ProbePair>& pairs,
+                               const MeasurementPlan& plan, std::uint64_t epoch);
 
 /// Measures every ordered pair among `vms` with packet trains (§4.1).
 /// `epoch` selects the cloud's cross-traffic snapshot, making repeated
 /// measurements of the same epoch reproducible.
 MatrixResult measure_rate_matrix(cloud::Cloud& cloud, const std::vector<cloud::VmId>& vms,
                                  const MeasurementPlan& plan, std::uint64_t epoch);
+
+/// Result of refreshing a ClusterView through a ViewCache.
+struct RefreshResult {
+  place::ClusterView view;
+  double wall_time_s = 0.0;
+  std::size_t pairs_probed = 0;  ///< strictly < n(n-1) on incremental cycles
+  std::size_t rounds = 0;
+  RefreshPlan plan;              ///< why each probed pair qualified
+};
+
+/// Incremental measurement cycle (§2.4 re-evaluation, arrivals): probes only
+/// the pairs `cache` flags under `policy` — never measured, stale, or
+/// volatile — stores the estimates back, and rebuilds the ClusterView from
+/// the cache. Unchanged pairs keep their cached estimate bit-for-bit; on an
+/// empty cache this is exactly a full measurement. The view's pair_epoch
+/// records per-pair provenance.
+RefreshResult refresh_cluster_view(cloud::Cloud& cloud,
+                                   const std::vector<cloud::VmId>& vms,
+                                   const MeasurementPlan& plan, std::uint64_t epoch,
+                                   ViewCache& cache, const RefreshPolicy& policy);
 
 /// Builds the tenant's ClusterView from measurements alone: packet-train
 /// rates, traceroute co-location groups (hop count 1 => same host), CPU

@@ -21,6 +21,9 @@ std::uint64_t mix(std::uint64_t x) {
 Router::Router(const Topology& topo) : topo_(topo) {}
 
 const std::vector<std::uint32_t>& Router::distances_to(NodeId dst) const {
+  // unordered_map node storage keeps returned references stable across later
+  // insertions, so callers may keep reading after the lock is released.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = dist_cache_.find(dst);
   if (it != dist_cache_.end()) return it->second;
 

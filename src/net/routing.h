@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,11 @@ struct Route {
 /// therefore always takes the same path, but two different flows between the
 /// same subtrees may traverse different aggregate/core switches — the effect
 /// §3.3.2 rule 2 warns about.
+///
+/// Thread safety: `route` and `hop_count` may be called concurrently from
+/// multiple threads (the measurement plane runs one round's packet trains on
+/// a worker pool); the BFS distance cache is guarded by a mutex and entries
+/// are reference-stable once inserted.
 class Router {
  public:
   explicit Router(const Topology& topo);
@@ -44,6 +50,7 @@ class Router {
   const std::vector<std::uint32_t>& distances_to(NodeId dst) const;
 
   const Topology& topo_;
+  mutable std::mutex cache_mutex_;
   mutable std::unordered_map<NodeId, std::vector<std::uint32_t>> dist_cache_;
 };
 

@@ -46,6 +46,10 @@ void ClusterView::validate() const {
   if (!hops.empty()) {
     CHOREO_REQUIRE(hops.rows() == cores.size() && hops.cols() == cores.size());
   }
+  if (!pair_epoch.empty()) {
+    CHOREO_REQUIRE(pair_epoch.rows() == cores.size() &&
+                   pair_epoch.cols() == cores.size());
+  }
   for (double c : cores) CHOREO_REQUIRE(c > 0.0);
   for (std::size_t i = 0; i < cores.size(); ++i) {
     for (std::size_t j = 0; j < cores.size(); ++j) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -54,8 +55,22 @@ struct ClusterView {
   DoubleMatrix hops;
   /// CPU capacity per machine, in cores.
   std::vector<double> cores;
+  /// Freshness provenance: the measurement epoch each rate_bps(m, n) was
+  /// last refreshed at (measure::ViewCache stamps). Optional — empty means
+  /// the whole view is one uniform snapshot (ground truth, synthetic views);
+  /// otherwise n x n, diagonal unused.
+  Matrix<std::uint64_t> pair_epoch;
+  /// Epoch of the measurement cycle that produced this view; pairs whose
+  /// pair_epoch is older were carried over from the cache, not re-probed.
+  std::uint64_t view_epoch = 0;
 
   std::size_t machine_count() const { return cores.size(); }
+
+  /// Epoch stamp of one pair estimate; view_epoch when no per-pair
+  /// provenance was recorded.
+  std::uint64_t freshness(std::size_t m, std::size_t n) const {
+    return pair_epoch.empty() ? view_epoch : pair_epoch(m, n);
+  }
 
   bool colocated(std::size_t m, std::size_t n) const {
     return colocation_group[m] == colocation_group[n];

@@ -31,10 +31,12 @@ void Args::parse(int argc, const char* const* argv) {
     const auto it = specs_.find(name);
     CHOREO_REQUIRE_MSG(it != specs_.end(), "unknown option --" << name);
     if (it->second.is_flag) {
-      values_[name] = "1";
+      // Move-assign: GCC 12's -O3 -Wrestrict false-positives on the
+      // operator=(const char*) overload here.
+      values_[name] = std::string("1");
     } else {
       CHOREO_REQUIRE_MSG(i + 1 < argc, "option --" << name << " needs a value");
-      values_[name] = argv[++i];
+      values_[name] = std::string(argv[++i]);
     }
   }
 }

@@ -86,14 +86,48 @@ TEST_F(ControllerTest, RejectsUnsortedArrivals) {
   EXPECT_THROW(controller.run(apps), PreconditionError);
 }
 
-TEST_F(ControllerTest, ThrowsWhenQueueingDisabledAndFull) {
+TEST_F(ControllerTest, RejectsDeterministicallyWhenQueueingDisabledAndFull) {
+  // 6 machines x 4 cores = 24 cores; three 8-core apps fill the cluster, so
+  // the fourth arrival cannot fit. With queueing disabled it must fail
+  // loudly and deterministically: a "rejected" event, the app left unplaced,
+  // and the session completing normally for everyone else.
   config_.queue_when_full = false;
   std::vector<place::Application> apps;
   for (int i = 0; i < 4; ++i) {
     apps.push_back(small_app("fat" + std::to_string(i), 0.0, 4.0));
   }
   Controller controller(cloud_, vms_, config_);
-  EXPECT_THROW(controller.run(apps), PreconditionError);
+  const SessionLog log = controller.run(apps);
+
+  EXPECT_EQ(log.rejected, 1u);
+  std::size_t rejected_events = 0;
+  for (const SessionEvent& e : log.events) {
+    if (e.kind == "rejected") {
+      ++rejected_events;
+      EXPECT_EQ(e.detail, "fat3");
+    }
+    EXPECT_NE(e.kind, "deferred");  // rejection never silently queues
+  }
+  EXPECT_EQ(rejected_events, 1u);
+
+  const AppOutcome& rejected = log.apps.back();
+  EXPECT_TRUE(rejected.rejected);
+  EXPECT_LT(rejected.placed_s, 0.0);
+  EXPECT_LT(rejected.finished_s, 0.0);
+  EXPECT_FALSE(rejected.placement.complete());
+  for (std::size_t i = 0; i + 1 < log.apps.size(); ++i) {
+    EXPECT_FALSE(log.apps[i].rejected);
+    EXPECT_GE(log.apps[i].finished_s, 0.0);
+  }
+
+  // Deterministic: an identical session rejects the identical app.
+  cloud::Cloud cloud2(cloud::ec2_2013(), 99);
+  const auto vms2 = cloud2.allocate_vms(6);
+  Controller controller2(cloud2, vms2, config_);
+  const SessionLog log2 = controller2.run(apps);
+  EXPECT_EQ(log2.rejected, 1u);
+  EXPECT_TRUE(log2.apps.back().rejected);
+  EXPECT_DOUBLE_EQ(log.total_runtime_s, log2.total_runtime_s);
 }
 
 TEST_F(ControllerTest, SessionWithTraceWorkload) {

@@ -142,6 +142,7 @@ TEST_F(ChoreoEndToEnd, ReevaluateMigratesWhenNetworkShifts) {
   EXPECT_EQ(report.apps_considered, 2u);
   // Greedy re-placement of a round-robin layout should find improvement.
   EXPECT_GT(report.tasks_migrated, 0u);
+  EXPECT_EQ(report.tasks_migrated, report.tasks_to_move);  // adopted: equal
   EXPECT_TRUE(report.adopted);
   EXPECT_GT(report.estimated_gain_s, 0.0);
 }
@@ -158,6 +159,39 @@ TEST_F(ChoreoEndToEnd, ReevaluateRespectsMigrationCost) {
   choreo.place_application(workload::generate_app(rng, gen), rr);
   const auto report = choreo.reevaluate(2);
   EXPECT_FALSE(report.adopted);
+  // The candidate plan wanted to move tasks, but none actually migrated —
+  // tasks_migrated counts real migrations only, tasks_to_move the proposal.
+  EXPECT_GT(report.tasks_to_move, 0u);
+  EXPECT_EQ(report.tasks_migrated, 0u);
+}
+
+TEST_F(ChoreoEndToEnd, IncrementalRefreshProbesFewerPairs) {
+  config_.refresh.max_age_epochs = 50;        // nothing goes stale here
+  config_.refresh.volatility_threshold = 1e9; // ignore volatility here
+  Choreo choreo(cloud_, vms_, config_);
+
+  choreo.measure_network(1);
+  const auto first = choreo.last_measure();
+  EXPECT_FALSE(first.incremental);
+  EXPECT_EQ(first.pairs_probed, vms_.size() * (vms_.size() - 1));
+  EXPECT_EQ(first.rounds, vms_.size() - 1);
+  EXPECT_GT(first.wall_time_s, 0.0);
+
+  choreo.measure_network(2);
+  const auto second = choreo.last_measure();
+  EXPECT_TRUE(second.incremental);
+  EXPECT_LT(second.pairs_probed, first.pairs_probed);
+  EXPECT_LE(second.wall_time_s, first.wall_time_s);
+  // The carried-over estimates are visible to placers via pair_epoch.
+  EXPECT_EQ(choreo.view().view_epoch, 2u);
+  EXPECT_EQ(choreo.view().freshness(0, 1), 1u);
+
+  // Full-sweep mode re-probes everything each cycle.
+  config_.incremental_refresh = false;
+  Choreo full(cloud_, vms_, config_);
+  full.measure_network(1);
+  full.measure_network(2);
+  EXPECT_EQ(full.last_measure().pairs_probed, vms_.size() * (vms_.size() - 1));
 }
 
 TEST_F(ChoreoEndToEnd, SequentialArrivalsShareTheCluster) {

@@ -79,6 +79,34 @@ TEST(Determinism, TraceIsReproducible) {
   }
 }
 
+// §4.1 parallel measurement must be a pure wall-clock optimization: running
+// one round's trains on a worker pool yields byte-identical rate matrices to
+// running them one after another, because every train's noise derives from
+// (seed, epoch, src, dst) rather than from shared RNG state or scheduling
+// order.
+TEST(Determinism, ParallelProbingMatchesSequentialBitForBit) {
+  const auto measure_with_workers = [](unsigned workers) {
+    cloud::Cloud c(cloud::ec2_2013(), 53);
+    const auto vms = c.allocate_vms(8);
+    measure::MeasurementPlan plan;
+    plan.train.bursts = 5;
+    plan.train.burst_length = 100;
+    plan.workers = workers;
+    return measure::measure_rate_matrix(c, vms, plan, /*epoch=*/3);
+  };
+  const measure::MatrixResult seq = measure_with_workers(1);
+  const measure::MatrixResult par = measure_with_workers(4);
+  ASSERT_EQ(seq.rate_bps.rows(), par.rate_bps.rows());
+  EXPECT_TRUE(seq.rate_bps == par.rate_bps);  // exact, not approximate
+  EXPECT_EQ(seq.rounds, par.rounds);
+  EXPECT_EQ(seq.pairs_measured, par.pairs_measured);
+  EXPECT_DOUBLE_EQ(seq.wall_time_s, par.wall_time_s);
+
+  // And again, to pin that the parallel path itself is run-to-run stable.
+  const measure::MatrixResult par2 = measure_with_workers(4);
+  EXPECT_TRUE(par.rate_bps == par2.rate_bps);
+}
+
 TEST(Determinism, ExecutionEpochsMatter) {
   // Use a congested profile (heavy biased background) so that background
   // realizations actually shape tenant flows — the stock EC2 profile is

@@ -159,6 +159,25 @@ TEST(MatrixMeasurement, TenVmSnapshotUnderThreeMinutes) {
   EXPECT_LT(wall, 180.0);
 }
 
+TEST(MatrixMeasurement, PairSubsetMatchesScheduleArithmetic) {
+  cloud::Cloud c(cloud::ec2_2013(), 17);
+  const auto vms = c.allocate_vms(6);
+  MeasurementPlan plan;
+  plan.train.bursts = 5;
+  plan.train.burst_length = 100;
+  // Two disjoint pairs plus one sharing a source: max degree 2 -> 2 rounds.
+  const std::vector<ProbePair> pairs{{0, 1}, {2, 3}, {0, 4}};
+  const PairsResult result = measure_rate_pairs(c, vms, pairs, plan, 1);
+  ASSERT_EQ(result.rate_bps.size(), 3u);
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_DOUBLE_EQ(result.wall_time_s, measurement_wall_time_s(plan, 2));
+  for (double r : result.rate_bps) EXPECT_GT(r, mbps(10));
+  // Empty request: free.
+  const PairsResult none = measure_rate_pairs(c, vms, {}, plan, 1);
+  EXPECT_TRUE(none.rate_bps.empty());
+  EXPECT_DOUBLE_EQ(none.wall_time_s, 0.0);
+}
+
 TEST(MatrixMeasurement, TrainEstimatesNearTruth) {
   cloud::Cloud c(cloud::ec2_2013(), 23);
   const auto vms = c.allocate_vms(5);

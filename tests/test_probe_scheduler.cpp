@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "measure/probe_scheduler.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace choreo::measure {
+namespace {
+
+TEST(ProbeScheduler, CompleteSetUsesExactlyNMinusOneRounds) {
+  for (std::size_t n : {2u, 3u, 5u, 10u, 33u}) {
+    const ProbeSchedule s = schedule_probes(n, all_ordered_pairs(n));
+    EXPECT_EQ(s.round_count(), n - 1) << "n=" << n;
+    EXPECT_EQ(s.pair_count(), n * (n - 1)) << "n=" << n;
+    EXPECT_EQ(s.max_degree, n - 1) << "n=" << n;
+    s.validate(n);
+    // Every round of the complete-set schedule is a perfect matching: all n
+    // VMs source exactly one train.
+    for (const auto& round : s.rounds) EXPECT_EQ(round.size(), n);
+  }
+}
+
+TEST(ProbeScheduler, RoundsAreConflictFree) {
+  const std::size_t n = 12;
+  const ProbeSchedule s = schedule_probes(n, all_ordered_pairs(n));
+  for (const auto& round : s.rounds) {
+    std::set<std::size_t> srcs, dsts;
+    for (const ProbePair& p : round) {
+      EXPECT_TRUE(srcs.insert(p.src).second) << "duplicate source in round";
+      EXPECT_TRUE(dsts.insert(p.dst).second) << "duplicate destination in round";
+    }
+  }
+}
+
+TEST(ProbeScheduler, CoversEveryRequestedPairExactlyOnce) {
+  const std::size_t n = 7;
+  std::vector<ProbePair> pairs = all_ordered_pairs(n);
+  const ProbeSchedule s = schedule_probes(n, pairs);
+  std::vector<ProbePair> scheduled;
+  for (const auto& round : s.rounds) {
+    scheduled.insert(scheduled.end(), round.begin(), round.end());
+  }
+  ASSERT_EQ(scheduled.size(), pairs.size());
+  const auto key = [n](const ProbePair& p) { return p.src * n + p.dst; };
+  std::set<std::size_t> want, got;
+  for (const ProbePair& p : pairs) want.insert(key(p));
+  for (const ProbePair& p : scheduled) got.insert(key(p));
+  EXPECT_EQ(want, got);
+}
+
+TEST(ProbeScheduler, SparseSubsetNeedsFewRounds) {
+  // A single VM probing 3 destinations: its out-degree forces 3 rounds, and
+  // greedy should not need more.
+  const ProbeSchedule s = schedule_probes(10, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_EQ(s.round_count(), 3u);
+  s.validate(10);
+
+  // Disjoint pairs all fit one round.
+  const ProbeSchedule one = schedule_probes(10, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  EXPECT_EQ(one.round_count(), 1u);
+  one.validate(10);
+}
+
+TEST(ProbeScheduler, RandomSubsetsStayNearMaxDegree) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 16;
+    std::vector<ProbePair> pairs;
+    for (const ProbePair& p : all_ordered_pairs(n)) {
+      if (rng.chance(0.3)) pairs.push_back(p);
+    }
+    if (pairs.empty()) continue;
+    const ProbeSchedule s = schedule_probes(n, pairs);
+    s.validate(n);
+    EXPECT_EQ(s.pair_count(), pairs.size());
+    EXPECT_GE(s.round_count(), s.max_degree);
+    // Greedy bipartite edge coloring is at worst 2*Delta - 1.
+    EXPECT_LE(s.round_count(), 2 * s.max_degree - 1);
+  }
+}
+
+TEST(ProbeScheduler, DeterministicForInputSetRegardlessOfOrder) {
+  const std::size_t n = 9;
+  std::vector<ProbePair> pairs = all_ordered_pairs(n);
+  const ProbeSchedule a = schedule_probes(n, pairs);
+  std::reverse(pairs.begin(), pairs.end());
+  const ProbeSchedule b = schedule_probes(n, pairs);
+  ASSERT_EQ(a.round_count(), b.round_count());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_TRUE(a.rounds[r] == b.rounds[r]) << "round " << r;
+  }
+}
+
+TEST(ProbeScheduler, RejectsSelfPairsAndEmptyFleet) {
+  EXPECT_THROW(schedule_probes(5, {{2, 2}}), PreconditionError);
+  EXPECT_THROW(schedule_probes(1, {{0, 0}}), PreconditionError);
+  EXPECT_THROW(schedule_probes(3, {{0, 7}}), PreconditionError);
+}
+
+TEST(ProbeScheduler, ValidateCatchesConflicts) {
+  ProbeSchedule bad;
+  bad.rounds.push_back({{0, 1}, {0, 2}});  // VM 0 sources twice
+  EXPECT_THROW(bad.validate(3), PreconditionError);
+  ProbeSchedule dup;
+  dup.rounds.push_back({{0, 1}});
+  dup.rounds.push_back({{0, 1}});  // same pair twice
+  EXPECT_THROW(dup.validate(3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace choreo::measure
