@@ -64,7 +64,48 @@ BENCHMARK(BM_GreedyPlacement)
     ->Args({10, 10})
     ->Args({20, 10})
     ->Args({40, 10})
-    ->Args({40, 20});
+    ->Args({40, 20})
+    ->Args({200, 10})
+    ->Args({500, 10});
+
+// The pre-refactor Algorithm 1: full candidate scan with O(n) hose rate
+// evaluations. Kept benchmarked next to the engine-backed placer so the
+// gap (and any regression that erodes it) stays visible.
+void BM_GreedyPlacementExhaustive(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const auto tasks = static_cast<std::size_t>(state.range(1));
+  const place::ClusterView view = random_view(rng, machines);
+  const place::Application app = random_app(rng, tasks);
+  place::ClusterState cluster(view);
+  place::ExhaustiveGreedyPlacer greedy(place::RateModel::Hose);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy.place(app, cluster));
+  }
+}
+BENCHMARK(BM_GreedyPlacementExhaustive)->Args({40, 10})->Args({200, 10});
+
+// One measurement cycle's placement-plane cost at scale: swapping a fresh
+// view into an occupied state (static index rebuild, residuals kept).
+void BM_EngineUpdateView(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const place::ClusterView view = random_view(rng, machines);
+  place::ClusterState cluster(view);
+  place::GreedyPlacer greedy(place::RateModel::Hose);
+  const place::Application app = random_app(rng, 10);
+  cluster.commit(app, greedy.place(app, cluster));
+  for (auto _ : state) {
+    // The production path (Choreo::measure_network) moves a freshly built
+    // view in; keep the O(n^2) copy needed to repeat that outside the timer.
+    state.PauseTiming();
+    place::ClusterView fresh = view;
+    state.ResumeTiming();
+    cluster.update_view(std::move(fresh));
+    benchmark::DoNotOptimize(cluster.free_cores(0));
+  }
+}
+BENCHMARK(BM_EngineUpdateView)->Arg(50)->Arg(200)->Arg(500);
 
 void BM_IlpPlacement(benchmark::State& state) {
   Rng rng(42);

@@ -33,12 +33,20 @@ double Choreo::measure_network(std::uint64_t epoch) {
     view = measure::true_cluster_view(cloud_, vms_, epoch);
   }
 
-  // Preserve existing commitments: rebuild state and replay running apps.
-  auto fresh = std::make_unique<place::ClusterState>(std::move(view));
-  for (const auto& [handle, entry] : running_) {
-    fresh->commit(entry.app, entry.placement);
+  // Preserve existing commitments. After the first cycle the fleet is fixed,
+  // so the new view is swapped into the existing state in place: the
+  // PlacementEngine rebuilds its static rate indexes and keeps the residual
+  // occupancy (CPU, transfer counts), instead of reconstructing the state
+  // and replaying every running application on each arrival/re-evaluation.
+  if (state_ && state_->machine_count() == view.machine_count()) {
+    state_->update_view(std::move(view));
+  } else {
+    auto fresh = std::make_unique<place::ClusterState>(std::move(view));
+    for (const auto& [handle, entry] : running_) {
+      fresh->commit(entry.app, entry.placement);
+    }
+    state_ = std::move(fresh);
   }
-  state_ = std::move(fresh);
   measured_ = true;
   return last_measure_.wall_time_s;
 }
@@ -115,8 +123,10 @@ Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
   const double current_cost = estimated_total_completion(current);
 
   // Hypothetical re-placement from a clean slate, apps in handle (arrival)
-  // order.
-  place::ClusterState scratch(state_->view());
+  // order. The scratch state shares the live engine's cached rate indexes
+  // (no re-validate / re-sort), and the greedy reuses the scratch residuals
+  // across apps as they are committed one by one.
+  place::ClusterState scratch = state_->clone_unoccupied();
   std::map<AppHandle, place::Placement> proposal;
   place::GreedyPlacer greedy(config_.rate_model);
   for (const auto& [handle, entry] : running_) {

@@ -81,7 +81,10 @@ class Choreo {
   /// conflict-free rounds (plus traceroute clustering), refreshing the
   /// cluster view placements use. The first call probes every ordered pair;
   /// later calls re-probe only stale/volatile pairs unless
-  /// config().incremental_refresh is false. `epoch` selects the cloud's
+  /// config().incremental_refresh is false, and swap the refreshed view into
+  /// the existing placement state in place (residual occupancy is kept;
+  /// only the engine's static rate indexes are rebuilt — no replay of
+  /// running applications). `epoch` selects the cloud's
   /// cross-traffic snapshot — the same epoch always observes the same
   /// network conditions, which is what makes runs reproducible. Returns the
   /// wall-clock seconds the phase would take on the real cloud — or 0.0 when

@@ -104,7 +104,10 @@ SessionLog Controller::run(const std::vector<place::Application>& apps) {
     while (next_arrival < apps.size() && apps[next_arrival].arrival_s <= now + 1e-9) {
       const std::size_t idx = next_arrival++;
       log.events.push_back({now, "arrival", apps[idx].name});
-      measure();  // §2.4: re-measure (incrementally) before placing
+      // §2.4: re-measure (incrementally) before placing. The refreshed view
+      // is swapped into the live placement state, so the engine's residual
+      // occupancy carries across arrivals instead of being replayed.
+      measure();
       if (!try_place(idx)) {
         if (config_.queue_when_full) {
           waiting.push_back(idx);

@@ -2,21 +2,20 @@
 
 #include <algorithm>
 
+#include "place/engine.h"
+
 namespace choreo::place {
-namespace {
 
-std::vector<double> snapshot_free_cores(const ClusterState& state) {
-  std::vector<double> free(state.machine_count());
-  for (std::size_t m = 0; m < state.machine_count(); ++m) free[m] = state.free_cores(m);
-  return free;
-}
-
-}  // namespace
+// The network-blind baselines run on the same PlacementEngine residual
+// indexes as the greedy placer: tentative CPU consumption goes through a
+// Txn (rolled back before returning) instead of per-call snapshot copies of
+// the free-core vector.
 
 Placement RandomPlacer::place(const Application& app, const ClusterState& state) {
   app.validate();
-  const std::size_t M = state.machine_count();
-  std::vector<double> free = snapshot_free_cores(state);
+  PlacementEngine& eng = state.engine();
+  const std::size_t M = eng.machine_count();
+  PlacementEngine::Txn txn(eng);
 
   Placement placement;
   placement.machine_of_task.assign(app.task_count(), kUnplaced);
@@ -24,7 +23,7 @@ Placement RandomPlacer::place(const Application& app, const ClusterState& state)
     // Draw among CPU-feasible machines uniformly.
     std::vector<std::size_t> feasible;
     for (std::size_t m = 0; m < M; ++m) {
-      if (free[m] + 1e-9 >= app.cpu_demand[t]) feasible.push_back(m);
+      if (eng.cpu_fits(m, app.cpu_demand[t])) feasible.push_back(m);
     }
     if (feasible.empty()) {
       throw PlacementError("random: no CPU room for task " + std::to_string(t));
@@ -32,15 +31,16 @@ Placement RandomPlacer::place(const Application& app, const ClusterState& state)
     const std::size_t m = feasible[static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(feasible.size()) - 1))];
     placement.machine_of_task[t] = m;
-    free[m] -= app.cpu_demand[t];
+    txn.apply_task(m, app.cpu_demand[t]);
   }
   return placement;
 }
 
 Placement RoundRobinPlacer::place(const Application& app, const ClusterState& state) {
   app.validate();
-  const std::size_t M = state.machine_count();
-  std::vector<double> free = snapshot_free_cores(state);
+  PlacementEngine& eng = state.engine();
+  const std::size_t M = eng.machine_count();
+  PlacementEngine::Txn txn(eng);
 
   Placement placement;
   placement.machine_of_task.assign(app.task_count(), kUnplaced);
@@ -48,9 +48,9 @@ Placement RoundRobinPlacer::place(const Application& app, const ClusterState& st
     bool placed = false;
     for (std::size_t probe = 0; probe < M; ++probe) {
       const std::size_t m = (next_ + probe) % M;
-      if (free[m] + 1e-9 >= app.cpu_demand[t]) {
+      if (eng.cpu_fits(m, app.cpu_demand[t])) {
         placement.machine_of_task[t] = m;
-        free[m] -= app.cpu_demand[t];
+        txn.apply_task(m, app.cpu_demand[t]);
         next_ = (m + 1) % M;
         placed = true;
         break;
@@ -65,13 +65,14 @@ Placement RoundRobinPlacer::place(const Application& app, const ClusterState& st
 
 Placement MinMachinesPlacer::place(const Application& app, const ClusterState& state) {
   app.validate();
-  const std::size_t M = state.machine_count();
-  std::vector<double> free = snapshot_free_cores(state);
+  PlacementEngine& eng = state.engine();
+  const std::size_t M = eng.machine_count();
+  PlacementEngine::Txn txn(eng);
   // "Used" machines: already carrying committed load, or used during this
   // placement.
   std::vector<bool> used(M, false);
   for (std::size_t m = 0; m < M; ++m) {
-    used[m] = state.free_cores(m) < state.view().cores[m] - 1e-9;
+    used[m] = eng.free_cores(m) < eng.view().cores[m] - 1e-9;
   }
 
   Placement placement;
@@ -80,14 +81,14 @@ Placement MinMachinesPlacer::place(const Application& app, const ClusterState& s
     std::size_t chosen = kUnplaced;
     // Prefer used machines (first-fit over used, then open a fresh one).
     for (std::size_t m = 0; m < M; ++m) {
-      if (used[m] && free[m] + 1e-9 >= app.cpu_demand[t]) {
+      if (used[m] && eng.cpu_fits(m, app.cpu_demand[t])) {
         chosen = m;
         break;
       }
     }
     if (chosen == kUnplaced) {
       for (std::size_t m = 0; m < M; ++m) {
-        if (!used[m] && free[m] + 1e-9 >= app.cpu_demand[t]) {
+        if (!used[m] && eng.cpu_fits(m, app.cpu_demand[t])) {
           chosen = m;
           break;
         }
@@ -97,7 +98,7 @@ Placement MinMachinesPlacer::place(const Application& app, const ClusterState& s
       throw PlacementError("min-machines: no CPU room for task " + std::to_string(t));
     }
     placement.machine_of_task[t] = chosen;
-    free[chosen] -= app.cpu_demand[t];
+    txn.apply_task(chosen, app.cpu_demand[t]);
     used[chosen] = true;
   }
   return placement;

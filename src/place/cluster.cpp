@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "place/engine.h"
+
 namespace choreo::place {
 
 const char* to_string(RateModel m) {
@@ -59,57 +61,46 @@ void ClusterView::validate() const {
 }
 
 ClusterState::ClusterState(ClusterView view)
-    : view_(std::move(view)),
-      used_cores_(view_.machine_count(), 0.0),
-      path_transfers_(view_.machine_count(), view_.machine_count()),
-      out_transfers_(view_.machine_count(), 0.0) {
-  view_.validate();
-}
+    : engine_(std::make_unique<PlacementEngine>(std::move(view))) {}
+
+ClusterState::ClusterState(std::unique_ptr<PlacementEngine> engine)
+    : engine_(std::move(engine)) {}
+
+ClusterState::~ClusterState() = default;
+ClusterState::ClusterState(ClusterState&&) noexcept = default;
+ClusterState& ClusterState::operator=(ClusterState&&) noexcept = default;
+
+const ClusterView& ClusterState::view() const { return engine_->view(); }
+
+std::size_t ClusterState::machine_count() const { return engine_->machine_count(); }
 
 double ClusterState::free_cores(std::size_t m) const {
   CHOREO_REQUIRE(m < machine_count());
-  return view_.cores[m] - used_cores_[m];
+  return engine_->free_cores(m);
 }
 
 double ClusterState::transfers_on_path(std::size_t m, std::size_t n) const {
   CHOREO_REQUIRE(m < machine_count() && n < machine_count());
-  return path_transfers_(m, n);
+  return engine_->transfers_on_path(m, n);
 }
 
 double ClusterState::transfers_out_of(std::size_t m) const {
   CHOREO_REQUIRE(m < machine_count());
-  return out_transfers_[m];
+  return engine_->transfers_out_of(m);
 }
 
 void ClusterState::commit(const Application& app, const Placement& placement) {
-  apply(app, placement, +1.0);
+  engine_->commit(app, placement);
 }
 
 void ClusterState::release(const Application& app, const Placement& placement) {
-  apply(app, placement, -1.0);
+  engine_->release(app, placement);
 }
 
-void ClusterState::apply(const Application& app, const Placement& placement, double sign) {
-  app.validate();
-  CHOREO_REQUIRE(placement.machine_of_task.size() == app.task_count());
-  CHOREO_REQUIRE(placement.complete());
-  for (std::size_t t = 0; t < app.task_count(); ++t) {
-    const std::size_t m = placement.machine_of_task[t];
-    CHOREO_REQUIRE(m < machine_count());
-    used_cores_[m] += sign * app.cpu_demand[t];
-    CHOREO_ASSERT(used_cores_[m] >= -1e-9);
-    CHOREO_ASSERT(used_cores_[m] <= view_.cores[m] + 1e-9);
-  }
-  for (std::size_t i = 0; i < app.task_count(); ++i) {
-    for (std::size_t j = 0; j < app.task_count(); ++j) {
-      if (app.traffic_bytes(i, j) <= 0.0) continue;
-      const std::size_t m = placement.machine_of_task[i];
-      const std::size_t n = placement.machine_of_task[j];
-      if (m == n) continue;  // intra-machine: free
-      path_transfers_(m, n) += sign;
-      if (!view_.colocated(m, n)) out_transfers_[m] += sign;
-    }
-  }
+void ClusterState::update_view(ClusterView view) { engine_->update_view(std::move(view)); }
+
+ClusterState ClusterState::clone_unoccupied() const {
+  return ClusterState(std::make_unique<PlacementEngine>(engine_->clone_unoccupied()));
 }
 
 }  // namespace choreo::place

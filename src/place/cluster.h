@@ -3,12 +3,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "place/app.h"
 #include "util/matrix.h"
 
 namespace choreo::place {
+
+class PlacementEngine;
 
 /// Sentinel for "task not placed yet".
 inline constexpr std::size_t kUnplaced = std::numeric_limits<std::size_t>::max();
@@ -79,6 +82,8 @@ struct ClusterView {
   /// Estimated hose (egress cap) of machine m: the best single-connection
   /// rate out of m to a non-colocated machine. (A single bulk connection
   /// fills the hose when the fabric is unconstrained, which §4 verifies.)
+  /// O(n) — placement inner loops should read the PlacementEngine's cached
+  /// copy instead.
   double hose_bps(std::size_t m) const;
 
   /// Effective capacity of path m->n: the measured single-connection rate
@@ -88,14 +93,44 @@ struct ClusterView {
   void validate() const;
 };
 
+/// Invokes fn(src_machine, dst_machine, bytes) for every traffic-matrix
+/// entry of `app` that actually crosses machines under `placement` — the one
+/// definition of "a placed transfer" shared by the residual bookkeeping
+/// (PlacementEngine), the completion-time objective (estimate_completion_s),
+/// and anything else that aggregates placed traffic. Intra-machine entries
+/// are free and skipped; zero entries produce no transfer.
+template <typename Fn>
+void for_each_placed_transfer(const Application& app, const Placement& placement,
+                              Fn&& fn) {
+  for (std::size_t i = 0; i < app.task_count(); ++i) {
+    for (std::size_t j = 0; j < app.task_count(); ++j) {
+      const double b = app.traffic_bytes(i, j);
+      if (b <= 0.0) continue;
+      const std::size_t m = placement.machine_of_task[i];
+      const std::size_t n = placement.machine_of_task[j];
+      if (m == n) continue;  // intra-machine is free
+      fn(m, n, b);
+    }
+  }
+}
+
 /// Mutable occupancy of a cluster as applications are placed one after
 /// another: free CPU plus the transfer counts the rate models need.
+///
+/// Since the incremental-placement refactor this is a thin facade over a
+/// PlacementEngine, which owns the view, the residual indexes (CPU slack,
+/// per-path placed-transfer counts, per-source hose residuals), and the
+/// O(1) tentative apply/undo machinery placement algorithms run on — see
+/// place/engine.h for the index and transaction protocol.
 class ClusterState {
  public:
   explicit ClusterState(ClusterView view);
+  ~ClusterState();
+  ClusterState(ClusterState&&) noexcept;
+  ClusterState& operator=(ClusterState&&) noexcept;
 
-  const ClusterView& view() const { return view_; }
-  std::size_t machine_count() const { return view_.machine_count(); }
+  const ClusterView& view() const;
+  std::size_t machine_count() const;
 
   double free_cores(std::size_t m) const;
   /// Transfers currently placed on path m->n (inter-machine only).
@@ -111,13 +146,29 @@ class ClusterState {
   /// migration). The caller must pass the same placement it committed.
   void release(const Application& app, const Placement& placement);
 
- private:
-  void apply(const Application& app, const Placement& placement, double sign);
+  /// Swaps in a freshly measured view of the SAME fleet while keeping the
+  /// residual occupancy (committed CPU and transfer counts) — what makes a
+  /// §2.4 measurement refresh O(n^2) index rebuild instead of a full replay
+  /// of every running application.
+  void update_view(ClusterView view);
 
-  ClusterView view_;
-  std::vector<double> used_cores_;
-  DoubleMatrix path_transfers_;
-  std::vector<double> out_transfers_;
+  /// A state with the same view and cached indexes but zero occupancy —
+  /// cheap scratch for hypothetical re-placement (§2.4); skips re-validating
+  /// and re-sorting the static indexes.
+  ClusterState clone_unoccupied() const;
+
+  /// The engine this state is backed by. Returned non-const from a const
+  /// state on purpose: placement algorithms run *tentative* apply/undo
+  /// transactions (PlacementEngine::Txn) that are always rolled back before
+  /// place() returns, so the observable state is unchanged — logical
+  /// constness. The placement plane is single-threaded; do not share one
+  /// ClusterState across threads.
+  PlacementEngine& engine() const { return *engine_; }
+
+ private:
+  explicit ClusterState(std::unique_ptr<PlacementEngine> engine);
+
+  std::unique_ptr<PlacementEngine> engine_;
 };
 
 }  // namespace choreo::place

@@ -1,0 +1,148 @@
+#include "place/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace choreo::place {
+
+PlacementEngine::PlacementEngine(ClusterView view)
+    : view_(std::move(view)),
+      used_cores_(view_.machine_count(), 0.0),
+      on_path_(view_.machine_count(), view_.machine_count()),
+      out_of_(view_.machine_count(), 0.0) {
+  view_.validate();
+  rebuild_static();
+}
+
+void PlacementEngine::rebuild_static() {
+  const std::size_t M = machine_count();
+  hose_.resize(M);
+  cross_out_.resize(M);
+  for (std::size_t m = 0; m < M; ++m) {
+    // Same code paths the uncached transfer_rate_bps runs — cached values
+    // are bit-identical by construction.
+    hose_[m] = view_.hose_bps(m);
+    cross_out_[m] = hose_cross_out(view_, m);
+  }
+
+  // Static rate ceilings. Placed-transfer counts are >= 0 and only divide a
+  // rate down, so every model is bounded by its zero-load value: R for the
+  // vswitch and hose branches (the min caps the hose at R), and the
+  // literally computed R*(c+1)/(c+1) for the pipe branch, whose roundings
+  // can exceed R by an ulp — take the max so the bound is exact, not
+  // merely mathematical.
+  ub_ = DoubleMatrix(M, M, 0.0);
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t n = 0; n < M; ++n) {
+      if (m == n) {
+        ub_(m, n) = kIntraMachineRate;
+      } else if (view_.colocated(m, n)) {
+        ub_(m, n) = view_.rate_bps(m, n);
+      } else {
+        const double c = view_.cross_traffic.empty() ? 0.0 : view_.cross_traffic(m, n);
+        ub_(m, n) = std::max(view_.rate_bps(m, n),
+                             residual::pipe_rate_bps(view_.path_capacity_bps(m, n), c, 0.0));
+      }
+    }
+  }
+
+  // Ranked candidate lists: for each machine, peers ordered by descending
+  // static upper bound, ties toward the lower index (the exhaustive scan's
+  // tie-break direction).
+  dest_rank_.resize(M * M);
+  src_rank_.resize(M * M);
+  std::vector<std::size_t> order(M);
+  for (std::size_t m = 0; m < M; ++m) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ua = upper_bound_bps(m, a);
+      const double ub = upper_bound_bps(m, b);
+      return ua != ub ? ua > ub : a < b;
+    });
+    std::copy(order.begin(), order.end(), dest_rank_.begin() + m * M);
+
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ua = upper_bound_bps(a, m);
+      const double ub = upper_bound_bps(b, m);
+      return ua != ub ? ua > ub : a < b;
+    });
+    std::copy(order.begin(), order.end(), src_rank_.begin() + m * M);
+  }
+}
+
+double PlacementEngine::rate_bps(std::size_t m, std::size_t n, RateModel model) const {
+  CHOREO_REQUIRE(m < machine_count() && n < machine_count());
+  if (m == n) return kIntraMachineRate;
+  if (view_.colocated(m, n)) {
+    return residual::vswitch_rate_bps(view_.rate_bps(m, n), on_path_(m, n));
+  }
+  switch (model) {
+    case RateModel::Pipe: {
+      const double c = view_.cross_traffic.empty() ? 0.0 : view_.cross_traffic(m, n);
+      return residual::pipe_rate_bps(view_.path_capacity_bps(m, n), c, on_path_(m, n));
+    }
+    case RateModel::Hose:
+      return residual::hose_rate_bps(view_.rate_bps(m, n), hose_[m], cross_out_[m],
+                                     out_of_[m]);
+  }
+  CHOREO_ASSERT(false);
+  return 0.0;
+}
+
+void PlacementEngine::commit(const Application& app, const Placement& placement) {
+  apply(app, placement, +1.0);
+}
+
+void PlacementEngine::release(const Application& app, const Placement& placement) {
+  apply(app, placement, -1.0);
+}
+
+void PlacementEngine::apply(const Application& app, const Placement& placement,
+                            double sign) {
+  CHOREO_ASSERT_MSG(txn_log_.empty(), "commit/release inside an open Txn");
+  app.validate();
+  CHOREO_REQUIRE(placement.machine_of_task.size() == app.task_count());
+  CHOREO_REQUIRE(placement.complete());
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    const std::size_t m = placement.machine_of_task[t];
+    CHOREO_REQUIRE(m < machine_count());
+    used_cores_[m] += sign * app.cpu_demand[t];
+    CHOREO_ASSERT(used_cores_[m] >= -1e-9);
+    CHOREO_ASSERT(used_cores_[m] <= view_.cores[m] + 1e-9);
+  }
+  for_each_placed_transfer(app, placement, [&](std::size_t m, std::size_t n, double) {
+    register_transfer(m, n, sign);
+  });
+}
+
+void PlacementEngine::update_view(ClusterView view) {
+  CHOREO_REQUIRE_MSG(view.machine_count() == machine_count(),
+                     "update_view needs the same fleet; rebuild the state otherwise");
+  view.validate();
+  view_ = std::move(view);
+  rebuild_static();
+  // Out-of-hose counts depend on the (possibly re-clustered) colocation
+  // groups; re-derive them from the per-path counts. Counts are sums of
+  // +/-1.0, i.e. exactly-represented integers, so this equals what a full
+  // replay of every running application would produce.
+  const std::size_t M = machine_count();
+  for (std::size_t m = 0; m < M; ++m) {
+    double out = 0.0;
+    for (std::size_t n = 0; n < M; ++n) {
+      if (n != m && !view_.colocated(m, n)) out += on_path_(m, n);
+    }
+    out_of_[m] = out;
+  }
+}
+
+PlacementEngine PlacementEngine::clone_unoccupied() const {
+  CHOREO_ASSERT_MSG(txn_log_.empty(), "clone_unoccupied inside an open Txn");
+  PlacementEngine clone(*this);
+  std::fill(clone.used_cores_.begin(), clone.used_cores_.end(), 0.0);
+  clone.on_path_ = DoubleMatrix(machine_count(), machine_count());
+  std::fill(clone.out_of_.begin(), clone.out_of_.end(), 0.0);
+  return clone;
+}
+
+}  // namespace choreo::place

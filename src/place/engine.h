@@ -1,0 +1,201 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/cluster.h"
+#include "place/rate_model.h"
+
+namespace choreo::place {
+
+/// The incremental placement engine: the mutable residual state of one
+/// cluster plus the indexes that make greedy candidate selection cheap.
+///
+/// The paper's greedy placer (Algorithm 1, §5) evaluates a residual rate for
+/// every (transfer, machine-pair) candidate. Evaluated naively that rate is
+/// O(n) per candidate under the hose model (the hose and its cross-traffic
+/// share are max-scans over the row), so placing one application is
+/// O(transfers · n^2 · n) — fine at the paper's ten VMs, hopeless at the
+/// fleet sizes the measurement plane now handles. The engine makes every
+/// rate query O(1) and candidate selection lazy:
+///
+///   * **Static per-machine indexes**, rebuilt only when the view changes
+///     (one measurement cycle, not one placement): cached `hose_bps`,
+///     cached hose cross-traffic share, and *ranked candidate lists* —
+///     for each machine its destinations (and sources) sorted by the static
+///     upper bound on any residual rate the pair can ever achieve. Placed
+///     transfer counts only ever divide a rate down, so the measured
+///     single-connection rate R(m,n) (and kIntraMachineRate on the
+///     diagonal) bounds every model from above; a best-first search over
+///     the ranked lists can stop as soon as the next upper bound drops
+///     below the best exact rate found (top-k pruning).
+///
+///   * **Residual indexes as first-class mutable state**: CPU slack,
+///     per-path placed-transfer counts and per-source out-of-hose counts,
+///     updated in O(1) per tentative assignment and rolled back in O(1) via
+///     the Txn undo log — placement algorithms no longer copy O(n^2)
+///     working state per call, and sequential arrivals / §2.4 re-placement
+///     reuse the committed residuals instead of replaying the cluster.
+///
+/// Rates produced here are bit-identical to place::transfer_rate_bps — both
+/// go through the residual:: primitives, and the cached per-machine values
+/// are computed by the same code the uncached path runs. The engine-backed
+/// greedy is pinned bit-for-bit against the exhaustive-scan oracle in
+/// test_engine_differential.
+///
+/// The engine is single-threaded by design (the measurement plane is the
+/// concurrent one); a Txn mutates the engine in place and must be rolled
+/// back (or destroyed) before observable state is read by anyone else.
+class PlacementEngine {
+ public:
+  explicit PlacementEngine(ClusterView view);
+
+  const ClusterView& view() const { return view_; }
+  std::size_t machine_count() const { return view_.machine_count(); }
+
+  // ---- Residual reads (all O(1)) ----
+
+  double free_cores(std::size_t m) const { return view_.cores[m] - used_cores_[m]; }
+  /// The CPU feasibility rule every placer shares: demand fits into m's
+  /// remaining cores (with the common 1e-9 slack for exact fits).
+  bool cpu_fits(std::size_t m, double demand) const {
+    return free_cores(m) + 1e-9 >= demand;
+  }
+  /// Transfers currently placed on path m->n (inter-machine only),
+  /// committed plus any tentative Txn applications.
+  double transfers_on_path(std::size_t m, std::size_t n) const {
+    return on_path_(m, n);
+  }
+  /// Transfers currently leaving machine m for non-colocated machines.
+  double transfers_out_of(std::size_t m) const { return out_of_[m]; }
+
+  /// Residual rate a new transfer m->n would see right now: the O(1)
+  /// equivalent of transfer_rate_bps(view(), m, n, model,
+  /// transfers_on_path(m, n), transfers_out_of(m)).
+  double rate_bps(std::size_t m, std::size_t n, RateModel model) const;
+
+  // ---- Static indexes (rebuilt by update_view, O(1) to read) ----
+
+  /// Cached ClusterView::hose_bps(m).
+  double hose_bps(std::size_t m) const { return hose_[m]; }
+  /// Cached hose_cross_out(view, m).
+  double hose_cross_out_of(std::size_t m) const { return cross_out_[m]; }
+  /// Static upper bound on rate_bps(m, n, model) in ANY residual state:
+  /// kIntraMachineRate on the diagonal; off it, the measured
+  /// single-connection rate joined with the pipe model's zero-load rate.
+  /// (The latter is mathematically R but its two roundings can land an ulp
+  /// above it, so the bound is taken over the literally computed value —
+  /// the lazy search's pruning must never cut a candidate whose exact rate
+  /// ties the best.) What the ranked candidate lists are ordered by.
+  double upper_bound_bps(std::size_t m, std::size_t n) const {
+    return ub_(m, n);
+  }
+  /// k-th best destination of source m by (upper bound desc, index asc);
+  /// k in [0, machine_count()). Position 0 is m itself unless some measured
+  /// rate exceeds kIntraMachineRate.
+  std::size_t ranked_dest(std::size_t m, std::size_t k) const {
+    return dest_rank_[m * machine_count() + k];
+  }
+  /// k-th best source toward destination n by (upper bound desc, index asc).
+  std::size_t ranked_src(std::size_t n, std::size_t k) const {
+    return src_rank_[n * machine_count() + k];
+  }
+
+  // ---- Committed mutations ----
+
+  /// Records an application's placement: consumes CPU and registers its
+  /// inter-machine transfers. Must not be called inside an open Txn.
+  void commit(const Application& app, const Placement& placement);
+  /// Reverse of commit (same placement the caller committed).
+  void release(const Application& app, const Placement& placement);
+
+  /// Swaps in a new view of the same fleet, rebuilding the static indexes
+  /// and keeping the residual occupancy. Out-of-hose counts are re-derived
+  /// from the per-path counts (exact: they are integer-valued), so even a
+  /// changed colocation clustering needs no replay of running applications.
+  void update_view(ClusterView view);
+
+  /// Copy with identical view and static indexes but zero occupancy.
+  PlacementEngine clone_unoccupied() const;
+
+  // ---- Tentative mutations ----
+
+  /// RAII transaction: O(1) tentative apply of task CPU and transfer
+  /// registrations, rolled back LIFO on destruction (or explicit
+  /// rollback()). Placement algorithms run their whole search inside one
+  /// Txn, so a const ClusterState& is observably unchanged when place()
+  /// returns — including on the exception path.
+  class Txn {
+   public:
+    explicit Txn(PlacementEngine& engine)
+        : engine_(&engine), mark_(engine.txn_log_.size()) {}
+    Txn(const Txn&) = delete;
+    Txn& operator=(const Txn&) = delete;
+    ~Txn() { rollback(); }
+
+    /// Tentatively consumes `cores` on machine m.
+    void apply_task(std::size_t m, double cores) {
+      engine_->used_cores_[m] += cores;
+      engine_->txn_log_.push_back(Op{m, 0, cores, Op::kTask});
+    }
+    /// Tentatively registers one transfer m->n (no-op when m == n, exactly
+    /// like the committed bookkeeping).
+    void apply_transfer(std::size_t m, std::size_t n) {
+      if (m == n) return;
+      engine_->register_transfer(m, n, +1.0);
+      engine_->txn_log_.push_back(Op{m, n, 0.0, Op::kTransfer});
+    }
+    /// Undoes everything applied since construction, LIFO.
+    void rollback() {
+      auto& log = engine_->txn_log_;
+      while (log.size() > mark_) {
+        const Op& op = log.back();
+        if (op.kind == Op::kTask) {
+          engine_->used_cores_[op.m] -= op.cores;
+        } else {
+          engine_->register_transfer(op.m, op.n, -1.0);
+        }
+        log.pop_back();
+      }
+    }
+
+   private:
+    PlacementEngine* engine_;
+    std::size_t mark_;
+  };
+
+ private:
+  friend class Txn;
+
+  struct Op {
+    std::size_t m = 0;
+    std::size_t n = 0;
+    double cores = 0.0;
+    enum Kind : std::uint8_t { kTask, kTransfer } kind = kTask;
+  };
+
+  void register_transfer(std::size_t m, std::size_t n, double sign) {
+    on_path_(m, n) += sign;
+    if (!view_.colocated(m, n)) out_of_[m] += sign;
+  }
+  void apply(const Application& app, const Placement& placement, double sign);
+  void rebuild_static();
+
+  ClusterView view_;
+
+  // Static indexes (functions of view_ only).
+  std::vector<double> hose_;
+  std::vector<double> cross_out_;
+  DoubleMatrix ub_;
+  std::vector<std::size_t> dest_rank_;  // machine_count^2, row-major by source
+  std::vector<std::size_t> src_rank_;   // machine_count^2, row-major by destination
+
+  // Residual indexes (committed plus open-Txn tentative state).
+  std::vector<double> used_cores_;
+  DoubleMatrix on_path_;
+  std::vector<double> out_of_;
+
+  std::vector<Op> txn_log_;
+};
+
+}  // namespace choreo::place

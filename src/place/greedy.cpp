@@ -2,9 +2,180 @@
 
 #include <algorithm>
 
+#include "place/engine.h"
+
 namespace choreo::place {
 
+namespace {
+
+/// Best candidate so far: highest exact rate, ties toward the lowest
+/// (m, n) — the order the exhaustive row-major scan discovers candidates
+/// in, so "first strict improvement wins" and "lexicographically smallest
+/// among the maxima" select the same pair.
+struct BestCandidate {
+  double rate = -1.0;
+  std::size_t m = kUnplaced;
+  std::size_t n = kUnplaced;
+
+  void offer(double rate_bps, std::size_t m_cand, std::size_t n_cand) {
+    if (rate_bps > rate ||
+        (rate_bps == rate && (m_cand < m || (m_cand == m && n_cand < n)))) {
+      rate = rate_bps;
+      m = m_cand;
+      n = n_cand;
+    }
+  }
+};
+
+/// Frontier of one source's ranked destination list in the two-sided
+/// best-first search: the next unexplored candidate and its static upper
+/// bound. Max-heap by bound (tie order irrelevant — every entry whose bound
+/// ties the best exact rate still gets evaluated before the search stops).
+struct Frontier {
+  double bound = 0.0;
+  std::size_t m = 0;
+  std::size_t k = 0;  // position in ranked_dest(m, ·)
+
+  bool operator<(const Frontier& other) const { return bound < other.bound; }
+};
+
+}  // namespace
+
 Placement GreedyPlacer::place(const Application& app, const ClusterState& state) {
+  app.validate();
+  PlacementEngine& eng = state.engine();
+  const ClusterView& view = eng.view();
+  const std::size_t J = app.task_count();
+  const std::size_t M = eng.machine_count();
+
+  Placement placement;
+  placement.machine_of_task.assign(J, kUnplaced);
+
+  // All tentative decisions live in one engine transaction, rolled back
+  // (also on the exception path) before returning: the caller commits.
+  PlacementEngine::Txn txn(eng);
+
+  const auto cpu_fits = [&](std::size_t task, std::size_t machine, double extra = 0.0) {
+    return eng.cpu_fits(machine, app.cpu_demand[task] + extra);
+  };
+
+  const auto allowed = [&](std::size_t task, std::size_t machine) {
+    return assignment_allowed(app.constraints, view, placement, task, machine);
+  };
+
+  const auto assign = [&](std::size_t task, std::size_t machine) {
+    placement.machine_of_task[task] = machine;
+    txn.apply_task(machine, app.cpu_demand[task]);
+  };
+
+  std::vector<Frontier> heap;  // reused across transfers
+  for (const TransferDemand& tr : sorted_transfers(app)) {
+    const std::size_t i = tr.src_task;
+    const std::size_t j = tr.dst_task;
+    const std::size_t mi = placement.machine_of_task[i];
+    const std::size_t mj = placement.machine_of_task[j];
+    if (mi != kUnplaced && mj != kUnplaced) {
+      // Both endpoints settled by earlier (larger) transfers; just record
+      // the load this transfer adds.
+      txn.apply_transfer(mi, mj);
+      continue;
+    }
+
+    // Candidate feasibility and exact residual rate (Algorithm 1 lines
+    // 3-14), identical rule-for-rule to the exhaustive scan's `consider`.
+    BestCandidate best;
+    const auto consider = [&](std::size_t m, std::size_t n) {
+      // CPU feasibility (lines 9-11).
+      if (mi == kUnplaced && mj == kUnplaced && m == n) {
+        if (!cpu_fits(i, m, app.cpu_demand[j])) return;
+      } else {
+        if (mi == kUnplaced && !cpu_fits(i, m)) return;
+        if (mj == kUnplaced && !cpu_fits(j, n)) return;
+      }
+      // Application constraints (fault tolerance / latency / pinning).
+      if (mi == kUnplaced && !allowed(i, m)) return;
+      if (mj == kUnplaced && !allowed(j, n)) return;
+      if (mi == kUnplaced && mj == kUnplaced) {
+        // Pair-internal constraints where both endpoints are being decided
+        // right now: probe j's machine against i's tentative one (O(1)
+        // write + restore instead of copying the placement).
+        placement.machine_of_task[i] = m;
+        const bool ok = assignment_allowed(app.constraints, view, placement, j, n);
+        placement.machine_of_task[i] = kUnplaced;
+        if (!ok) return;
+      }
+      best.offer(eng.rate_bps(m, n, model_), m, n);
+    };
+
+    // Lazy best-first enumeration: walk candidates in descending static
+    // upper bound and stop once the next bound cannot reach the best exact
+    // rate found (ties keep going — a tying candidate with a lower index
+    // would win the tie-break).
+    if (mi != kUnplaced) {
+      for (std::size_t k = 0; k < M; ++k) {
+        const std::size_t n = eng.ranked_dest(mi, k);
+        if (eng.upper_bound_bps(mi, n) < best.rate) break;
+        consider(mi, n);
+      }
+    } else if (mj != kUnplaced) {
+      for (std::size_t k = 0; k < M; ++k) {
+        const std::size_t m = eng.ranked_src(mj, k);
+        if (eng.upper_bound_bps(m, mj) < best.rate) break;
+        consider(m, mj);
+      }
+    } else {
+      // Both endpoints free: merge the M ranked destination lists through a
+      // frontier heap — top-k pruning over the M^2 pair candidates.
+      heap.clear();
+      for (std::size_t m = 0; m < M; ++m) {
+        heap.push_back(Frontier{eng.upper_bound_bps(m, eng.ranked_dest(m, 0)), m, 0});
+      }
+      std::make_heap(heap.begin(), heap.end());
+      while (!heap.empty() && heap.front().bound >= best.rate) {
+        std::pop_heap(heap.begin(), heap.end());
+        Frontier f = heap.back();
+        heap.pop_back();
+        consider(f.m, eng.ranked_dest(f.m, f.k));
+        if (++f.k < M) {
+          f.bound = eng.upper_bound_bps(f.m, eng.ranked_dest(f.m, f.k));
+          heap.push_back(f);
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+    }
+
+    if (best.m == kUnplaced) {
+      throw PlacementError("greedy: no CPU-feasible path for transfer " +
+                           std::to_string(i) + "->" + std::to_string(j));
+    }
+    if (mi == kUnplaced) assign(i, best.m);
+    if (mj == kUnplaced) assign(j, best.n);
+    txn.apply_transfer(best.m, best.n);
+  }
+
+  // Tasks with no transfers: first-fit-decreasing onto the freest machines.
+  std::vector<std::size_t> leftovers;
+  for (std::size_t t = 0; t < J; ++t) {
+    if (placement.machine_of_task[t] == kUnplaced) leftovers.push_back(t);
+  }
+  std::stable_sort(leftovers.begin(), leftovers.end(), [&](std::size_t a, std::size_t b) {
+    return app.cpu_demand[a] > app.cpu_demand[b];
+  });
+  for (std::size_t t : leftovers) {
+    std::size_t best = kUnplaced;
+    for (std::size_t m = 0; m < M; ++m) {
+      if (!cpu_fits(t, m) || !allowed(t, m)) continue;
+      if (best == kUnplaced || eng.free_cores(m) > eng.free_cores(best)) best = m;
+    }
+    if (best == kUnplaced) {
+      throw PlacementError("greedy: no CPU room for task " + std::to_string(t));
+    }
+    assign(t, best);
+  }
+  return placement;
+}
+
+Placement ExhaustiveGreedyPlacer::place(const Application& app, const ClusterState& state) {
   app.validate();
   const ClusterView& view = state.view();
   const std::size_t J = app.task_count();

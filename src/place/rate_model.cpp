@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "place/engine.h"
+
 namespace choreo::place {
+
+double hose_cross_out(const ClusterView& view, std::size_t m) {
+  CHOREO_REQUIRE(m < view.machine_count());
+  double c_out = 0.0;
+  if (!view.cross_traffic.empty()) {
+    // The hose is shared with whatever background the busiest path out of m
+    // reports.
+    for (std::size_t k = 0; k < view.machine_count(); ++k) {
+      if (k != m && !view.colocated(m, k)) {
+        c_out = std::max(c_out, view.cross_traffic(m, k));
+      }
+    }
+  }
+  return c_out;
+}
 
 double transfer_rate_bps(const ClusterView& view, std::size_t m, std::size_t n,
                          RateModel model, double placed_on_path,
@@ -11,34 +28,17 @@ double transfer_rate_bps(const ClusterView& view, std::size_t m, std::size_t n,
   if (m == n) return kIntraMachineRate;
 
   if (view.colocated(m, n)) {
-    // Same physical host: the transfer rides the virtual switch, not the
-    // hose; it shares the path with transfers already on it.
-    return view.rate_bps(m, n) / (placed_on_path + 1.0);
+    return residual::vswitch_rate_bps(view.rate_bps(m, n), placed_on_path);
   }
 
   switch (model) {
     case RateModel::Pipe: {
       const double c = view.cross_traffic.empty() ? 0.0 : view.cross_traffic(m, n);
-      return view.path_capacity_bps(m, n) / (c + placed_on_path + 1.0);
+      return residual::pipe_rate_bps(view.path_capacity_bps(m, n), c, placed_on_path);
     }
-    case RateModel::Hose: {
-      double c_out = 0.0;
-      if (!view.cross_traffic.empty()) {
-        // The hose is shared with whatever background the busiest path out
-        // of m reports.
-        for (std::size_t k = 0; k < view.machine_count(); ++k) {
-          if (k != m && !view.colocated(m, k)) {
-            c_out = std::max(c_out, view.cross_traffic(m, k));
-          }
-        }
-      }
-      // The transfer cannot exceed the measured single-connection rate of
-      // this particular path (the fabric or the destination may be slower
-      // than the source hose), and it shares the hose with everything else
-      // leaving m.
-      return std::min(view.rate_bps(m, n),
-                      view.hose_bps(m) / (c_out + placed_out_of_src + 1.0));
-    }
+    case RateModel::Hose:
+      return residual::hose_rate_bps(view.rate_bps(m, n), view.hose_bps(m),
+                                     hose_cross_out(view, m), placed_out_of_src);
   }
   CHOREO_ASSERT(false);
   return 0.0;
@@ -46,8 +46,7 @@ double transfer_rate_bps(const ClusterView& view, std::size_t m, std::size_t n,
 
 double transfer_rate_bps(const ClusterState& state, std::size_t m, std::size_t n,
                          RateModel model) {
-  return transfer_rate_bps(state.view(), m, n, model, state.transfers_on_path(m, n),
-                           state.transfers_out_of(m));
+  return state.engine().rate_bps(m, n, model);
 }
 
 double estimate_completion_s(const Application& app, const Placement& placement,
@@ -57,18 +56,12 @@ double estimate_completion_s(const Application& app, const Placement& placement,
   CHOREO_REQUIRE(placement.complete());
   const std::size_t M = view.machine_count();
 
-  // Aggregate bytes per machine path.
+  // Aggregate bytes per machine path — the same inter-machine transfer
+  // enumeration the residual indexes are maintained with (intra-machine
+  // traffic is free and never counted).
   DoubleMatrix data(M, M, 0.0);
-  for (std::size_t i = 0; i < app.task_count(); ++i) {
-    for (std::size_t j = 0; j < app.task_count(); ++j) {
-      const double b = app.traffic_bytes(i, j);
-      if (b <= 0.0) continue;
-      const std::size_t m = placement.machine_of_task[i];
-      const std::size_t n = placement.machine_of_task[j];
-      if (m == n) continue;  // intra-machine is free
-      data(m, n) += b;
-    }
-  }
+  for_each_placed_transfer(app, placement,
+                           [&](std::size_t m, std::size_t n, double b) { data(m, n) += b; });
 
   double worst = 0.0;
   if (model == RateModel::Pipe) {

@@ -1,0 +1,328 @@
+// Differential battery pinning the incremental placement engine to the
+// exhaustive-scan oracle: over a randomized corpus (fleet sizes, rate
+// models, CPU limits, colocated pairs, cross traffic, constraints), the
+// PlacementEngine-backed GreedyPlacer must produce *bit-identical*
+// placements and completion estimates to ExhaustiveGreedyPlacer, its O(1)
+// cached rates must equal transfer_rate_bps exactly, and the incremental
+// state maintenance (Txn rollback, update_view, clone_unoccupied) must be
+// indistinguishable from rebuild-and-replay.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "place/baselines.h"
+#include "place/engine.h"
+#include "place/greedy.h"
+#include "place/rate_model.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/generator.h"
+
+namespace choreo::place {
+namespace {
+
+using units::mbps;
+
+/// A corpus cluster: random rates, a few colocated pairs, optional cross
+/// traffic, mixed core counts, and a hop matrix so latency constraints can
+/// bind.
+ClusterView corpus_cluster(Rng& rng, std::size_t machines) {
+  ClusterView view;
+  view.rate_bps = DoubleMatrix(machines, machines, 0.0);
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (i != j) {
+        view.rate_bps(i, j) = rng.chance(0.25) ? rng.uniform(mbps(200), mbps(900))
+                                               : rng.uniform(mbps(900), mbps(1200));
+      }
+    }
+  }
+  // Co-locate ~1/4 of the fleet in pairs (consecutive indices share a host).
+  view.colocation_group.resize(machines);
+  int group = 0;
+  for (std::size_t m = 0; m < machines; ++m) {
+    view.colocation_group[m] = group;
+    const bool pair_with_next = m + 1 < machines && m % 4 == 0 && rng.chance(0.7);
+    if (!pair_with_next) ++group;
+  }
+  if (rng.chance(0.6)) {
+    view.cross_traffic = DoubleMatrix(machines, machines, 0.0);
+    for (std::size_t i = 0; i < machines; ++i) {
+      for (std::size_t j = 0; j < machines; ++j) {
+        if (i != j && rng.chance(0.3)) view.cross_traffic(i, j) = rng.uniform(0.0, 3.0);
+      }
+    }
+  }
+  view.hops = DoubleMatrix(machines, machines, 0.0);
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (i == j) continue;
+      view.hops(i, j) = view.colocated(i, j) ? 1.0 : (rng.chance(0.5) ? 2.0 : 4.0);
+    }
+  }
+  view.cores.resize(machines);
+  for (double& c : view.cores) c = rng.chance(0.3) ? 2.0 : (rng.chance(0.5) ? 4.0 : 8.0);
+  return view;
+}
+
+Application corpus_app(Rng& rng, std::size_t machines) {
+  workload::GeneratorConfig gen;
+  gen.min_tasks = 3;
+  gen.max_tasks = 9;
+  gen.max_cpu = 2.0;
+  Application app = workload::generate_app(rng, gen);
+  // Sometimes attach constraints so the constrained code paths diverge if
+  // the engine mishandles them.
+  if (rng.chance(0.3) && app.task_count() >= 2) {
+    app.constraints.separate.push_back({0, app.task_count() - 1});
+  }
+  if (rng.chance(0.2)) {
+    app.constraints.pinned[app.task_count() / 2] =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(machines) - 1));
+  }
+  if (rng.chance(0.2) && app.task_count() >= 3) {
+    app.constraints.latency.push_back({1, 2, 2});
+  }
+  return app;
+}
+
+/// Places with both implementations on the same state; asserts identical
+/// outcomes (including agreeing on infeasibility) and returns the placement
+/// when one exists.
+std::optional<Placement> place_both(const Application& app, const ClusterState& state,
+                                    RateModel model) {
+  GreedyPlacer engine_backed(model);
+  ExhaustiveGreedyPlacer oracle(model);
+  Placement pe, po;
+  bool engine_threw = false, oracle_threw = false;
+  try {
+    po = oracle.place(app, state);
+  } catch (const PlacementError&) {
+    oracle_threw = true;
+  }
+  try {
+    pe = engine_backed.place(app, state);
+  } catch (const PlacementError&) {
+    engine_threw = true;
+  }
+  EXPECT_EQ(engine_threw, oracle_threw) << "feasibility verdicts diverge";
+  if (engine_threw || oracle_threw) return std::nullopt;
+  EXPECT_EQ(pe.machine_of_task, po.machine_of_task) << "placements diverge";
+  // With identical placements the (shared, uncached) objective yields the
+  // same double by construction; estimate drift between the engine's cached
+  // rates and the uncached path is what CachedRatesEqualUncachedRates pins.
+  return pe;
+}
+
+class EngineDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineDifferential, SequentialArrivalsBitIdentical) {
+  Rng rng(GetParam());
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(4, 28));
+  ClusterState state(corpus_cluster(rng, machines));
+  const RateModel model = rng.chance(0.5) ? RateModel::Hose : RateModel::Pipe;
+
+  // A short arrival sequence: each app is placed by both implementations on
+  // the *same* residual state, then committed, so later apps see the
+  // contention earlier ones created.
+  std::vector<std::pair<Application, Placement>> committed;
+  for (int a = 0; a < 4; ++a) {
+    const Application app = corpus_app(rng, machines);
+    const auto placement = place_both(app, state, model);
+    if (placement) {
+      state.commit(app, *placement);
+      committed.push_back({app, *placement});
+    }
+  }
+  // Releasing the oldest app and re-placing is the migration-shaped path.
+  if (committed.size() >= 2) {
+    state.release(committed.front().first, committed.front().second);
+    place_both(committed.front().first, state, model);
+  }
+}
+
+TEST_P(EngineDifferential, CachedRatesEqualUncachedRates) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 16));
+  ClusterState state(corpus_cluster(rng, machines));
+
+  // Exercise non-trivial residual loads.
+  GreedyPlacer greedy(RateModel::Hose);
+  for (int a = 0; a < 2; ++a) {
+    const Application app = corpus_app(rng, machines);
+    try {
+      state.commit(app, greedy.place(app, state));
+    } catch (const PlacementError&) {
+    }
+  }
+
+  const PlacementEngine& eng = state.engine();
+  for (std::size_t m = 0; m < machines; ++m) {
+    EXPECT_EQ(eng.hose_bps(m), state.view().hose_bps(m));
+    EXPECT_EQ(eng.hose_cross_out_of(m), hose_cross_out(state.view(), m));
+    for (std::size_t n = 0; n < machines; ++n) {
+      for (const RateModel model : {RateModel::Hose, RateModel::Pipe}) {
+        EXPECT_EQ(eng.rate_bps(m, n, model),
+                  transfer_rate_bps(state.view(), m, n, model,
+                                    state.transfers_on_path(m, n),
+                                    state.transfers_out_of(m)));
+      }
+    }
+  }
+}
+
+TEST_P(EngineDifferential, RankedListsDescendAndCoverAllMachines) {
+  Rng rng(GetParam() + 2000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 16));
+  ClusterState state(corpus_cluster(rng, machines));
+  const PlacementEngine& eng = state.engine();
+  for (std::size_t m = 0; m < machines; ++m) {
+    std::vector<bool> seen_dest(machines, false), seen_src(machines, false);
+    for (std::size_t k = 0; k < machines; ++k) {
+      const std::size_t d = eng.ranked_dest(m, k);
+      const std::size_t s = eng.ranked_src(m, k);
+      seen_dest[d] = true;
+      seen_src[s] = true;
+      if (k > 0) {
+        EXPECT_GE(eng.upper_bound_bps(m, eng.ranked_dest(m, k - 1)),
+                  eng.upper_bound_bps(m, d));
+        EXPECT_GE(eng.upper_bound_bps(eng.ranked_src(m, k - 1), m),
+                  eng.upper_bound_bps(s, m));
+      }
+      // The static bound really bounds every residual rate.
+      for (const RateModel model : {RateModel::Hose, RateModel::Pipe}) {
+        EXPECT_LE(eng.rate_bps(m, d, model), eng.upper_bound_bps(m, d));
+      }
+    }
+    EXPECT_TRUE(std::all_of(seen_dest.begin(), seen_dest.end(), [](bool b) { return b; }));
+    EXPECT_TRUE(std::all_of(seen_src.begin(), seen_src.end(), [](bool b) { return b; }));
+  }
+}
+
+TEST_P(EngineDifferential, PlacersLeaveStateUntouched) {
+  Rng rng(GetParam() + 3000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(4, 12));
+  ClusterState state(corpus_cluster(rng, machines));
+  GreedyPlacer greedy(RateModel::Hose);
+  const Application base = corpus_app(rng, machines);
+  try {
+    state.commit(base, greedy.place(base, state));
+  } catch (const PlacementError&) {
+  }
+
+  const auto snapshot = [&] {
+    std::vector<double> s;
+    for (std::size_t m = 0; m < machines; ++m) {
+      s.push_back(state.free_cores(m));
+      s.push_back(state.transfers_out_of(m));
+      for (std::size_t n = 0; n < machines; ++n) s.push_back(state.transfers_on_path(m, n));
+    }
+    return s;
+  };
+
+  const std::vector<double> before = snapshot();
+  const Application app = corpus_app(rng, machines);
+  GreedyPlacer hose(RateModel::Hose), pipe(RateModel::Pipe);
+  RandomPlacer random(GetParam());
+  RoundRobinPlacer rr;
+  MinMachinesPlacer mm;
+  for (Placer* placer : {static_cast<Placer*>(&hose), static_cast<Placer*>(&pipe),
+                         static_cast<Placer*>(&random), static_cast<Placer*>(&rr),
+                         static_cast<Placer*>(&mm)}) {
+    try {
+      placer->place(app, state);
+    } catch (const PlacementError&) {
+    }
+    EXPECT_EQ(snapshot(), before) << placer->name() << " leaked tentative state";
+  }
+}
+
+TEST_P(EngineDifferential, UpdateViewEqualsRebuildAndReplay) {
+  Rng rng(GetParam() + 4000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(4, 14));
+  ClusterState incremental(corpus_cluster(rng, machines));
+  GreedyPlacer greedy(RateModel::Hose);
+
+  std::vector<std::pair<Application, Placement>> committed;
+  for (int a = 0; a < 3; ++a) {
+    const Application app = corpus_app(rng, machines);
+    try {
+      const Placement p = greedy.place(app, incremental);
+      incremental.commit(app, p);
+      committed.push_back({app, p});
+    } catch (const PlacementError&) {
+    }
+  }
+
+  // A fresh measurement of the same fleet: different rates, cross traffic,
+  // and even a different colocation clustering — but the same machines, so
+  // the same CPU capacities.
+  ClusterView refreshed = corpus_cluster(rng, machines);
+  refreshed.cores = incremental.view().cores;
+  incremental.update_view(refreshed);
+  ClusterState replayed(refreshed);
+  for (const auto& [app, p] : committed) replayed.commit(app, p);
+
+  for (std::size_t m = 0; m < machines; ++m) {
+    EXPECT_EQ(incremental.free_cores(m), replayed.free_cores(m));
+    EXPECT_EQ(incremental.transfers_out_of(m), replayed.transfers_out_of(m));
+    for (std::size_t n = 0; n < machines; ++n) {
+      EXPECT_EQ(incremental.transfers_on_path(m, n), replayed.transfers_on_path(m, n));
+    }
+  }
+  // And the next placement decision is identical on both states.
+  const Application next = corpus_app(rng, machines);
+  for (const RateModel model : {RateModel::Hose, RateModel::Pipe}) {
+    GreedyPlacer g(model);
+    Placement pi, pr;
+    bool ti = false, tr = false;
+    try {
+      pi = g.place(next, incremental);
+    } catch (const PlacementError&) {
+      ti = true;
+    }
+    try {
+      pr = g.place(next, replayed);
+    } catch (const PlacementError&) {
+      tr = true;
+    }
+    EXPECT_EQ(ti, tr);
+    if (!ti && !tr) {
+      EXPECT_EQ(pi.machine_of_task, pr.machine_of_task);
+    }
+  }
+}
+
+TEST_P(EngineDifferential, CloneUnoccupiedEqualsFreshState) {
+  Rng rng(GetParam() + 5000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(4, 12));
+  const ClusterView view = corpus_cluster(rng, machines);
+  ClusterState occupied(view);
+  GreedyPlacer greedy(RateModel::Hose);
+  const Application app = corpus_app(rng, machines);
+  try {
+    occupied.commit(app, greedy.place(app, occupied));
+  } catch (const PlacementError&) {
+  }
+
+  const ClusterState scratch = occupied.clone_unoccupied();
+  const ClusterState fresh(view);
+  for (std::size_t m = 0; m < machines; ++m) {
+    EXPECT_EQ(scratch.free_cores(m), fresh.free_cores(m));
+    EXPECT_EQ(scratch.transfers_out_of(m), 0.0);
+  }
+  const Application next = corpus_app(rng, machines);
+  try {
+    const Placement ps = greedy.place(next, scratch);
+    const Placement pf = greedy.place(next, fresh);
+    EXPECT_EQ(ps.machine_of_task, pf.machine_of_task);
+  } catch (const PlacementError&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential, ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace choreo::place

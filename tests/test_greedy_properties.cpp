@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "place/baselines.h"
 #include "place/greedy.h"
+#include "place/ilp.h"
 #include "place/rate_model.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -137,6 +140,94 @@ TEST_P(GreedySweep, FasterNetworkNeverHurtsEstimate) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GreedySweep, ::testing::Range<std::uint64_t>(0, 25));
+
+// --- Small-instance optimality harness (§5.2) ---------------------------
+//
+// Exhaustive sweep over tiny instances (<= 4 tasks, <= 3 machines, several
+// seeds, both rate models): the optimal placement is computed exactly by
+// place::IlpPlacer (cross-checked against BruteForcePlacer), and greedy's
+// completion time is pinned against it. The paper observes a 13% *median*
+// greedy-over-optimal gap (§5: "median completion time with the greedy
+// algorithm was only 13% more than ... the optimal algorithm"); the bounds
+// here have headroom over what this corpus measures, so a regression in the
+// greedy search (e.g. a broken candidate pruning) trips the test while
+// legitimate tie-break noise does not.
+
+TEST(GreedyOptimality, SmallInstanceSweepAgainstIlp) {
+  std::vector<double> ratios;
+  std::size_t exact = 0, instances = 0;
+
+  for (std::size_t machines = 2; machines <= 3; ++machines) {
+    for (std::size_t tasks = 2; tasks <= 4; ++tasks) {
+      for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        Rng rng(seed * 977 + machines * 31 + tasks);
+        const ClusterView view = random_cluster(rng, machines);
+        ClusterState state(view);
+
+        Application app;
+        app.name = "tiny";
+        app.cpu_demand.resize(tasks);
+        for (double& c : app.cpu_demand) c = rng.chance(0.5) ? 1.0 : 2.0;
+        app.traffic_bytes = DoubleMatrix(tasks, tasks, 0.0);
+        for (std::size_t i = 0; i < tasks; ++i) {
+          for (std::size_t j = 0; j < tasks; ++j) {
+            if (i != j && rng.chance(0.5)) {
+              app.traffic_bytes(i, j) = rng.uniform(1e7, 5e8);
+            }
+          }
+        }
+        if (app.traffic_bytes.total() == 0.0) app.traffic_bytes(0, tasks - 1) = 1e8;
+
+        const RateModel model = rng.chance(0.5) ? RateModel::Hose : RateModel::Pipe;
+        BruteForcePlacer brute(model);
+        Placement pb;
+        try {
+          pb = brute.place(app, state);
+        } catch (const PlacementError&) {
+          continue;  // CPU-infeasible corner of the grid
+        }
+        const double tb = estimate_completion_s(app, pb, view, model);
+
+        // ILP == brute force on instances this small.
+        IlpPlacer ilp(model);
+        const Placement pi = ilp.place(app, state);
+        const double ti = estimate_completion_s(app, pi, view, model);
+        EXPECT_NEAR(ti, tb, tb * 1e-6 + 1e-9);
+
+        GreedyPlacer greedy(model);
+        const Placement pg = greedy.place(app, state);
+        const double tg = estimate_completion_s(app, pg, view, model);
+        ++instances;
+
+        // Optimality is a hard lower bound.
+        EXPECT_GE(tg, tb * (1.0 - 1e-9) - 1e-9);
+        if (tb <= 1e-9) {
+          // An all-colocatable instance: greedy must find the free placement
+          // too, or something is badly wrong with the intra-machine path.
+          EXPECT_LE(tg, 1e-9);
+          ratios.push_back(1.0);
+        } else {
+          const double ratio = tg / tb;
+          ratios.push_back(ratio);
+          // Per-instance cap: Fig 9 shows greedy can lose by ~4.5x on
+          // crafted instances; random tiny instances stay far below that.
+          EXPECT_LE(ratio, 4.0) << "machines=" << machines << " tasks=" << tasks
+                                << " seed=" << seed;
+        }
+        if (ratios.back() <= 1.0 + 1e-9) ++exact;
+      }
+    }
+  }
+
+  ASSERT_GE(instances, 20u);
+  std::sort(ratios.begin(), ratios.end());
+  const double median = ratios[ratios.size() / 2];
+  // Paper: 13% median gap on 10-machine instances; tiny instances are
+  // easier, so the median must stay well inside that band.
+  EXPECT_LE(median, 1.15);
+  // Greedy should hit the exact optimum on a solid fraction of instances.
+  EXPECT_GE(static_cast<double>(exact) / static_cast<double>(instances), 0.4);
+}
 
 }  // namespace
 }  // namespace choreo::place

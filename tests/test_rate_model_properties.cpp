@@ -1,0 +1,199 @@
+// Property sweeps on the §4.3 rate models (the one residual-rate code path
+// in place/rate_model.h): residual rates are non-increasing in placed load,
+// the intra-machine pseudo-path dominates every network path, and the hose
+// model never inverts completion-time orderings the pipe model establishes
+// on single-transfer applications (their estimates coincide exactly, since
+// a machine's hose is at least as fast as any single path out of it).
+
+#include <gtest/gtest.h>
+
+#include "place/engine.h"
+#include "place/greedy.h"
+#include "place/rate_model.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace choreo::place {
+namespace {
+
+using units::mbps;
+
+ClusterView random_cluster(Rng& rng, std::size_t machines, bool with_cross,
+                           bool with_colocation) {
+  ClusterView view;
+  view.rate_bps = DoubleMatrix(machines, machines, 0.0);
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (i != j) view.rate_bps(i, j) = rng.uniform(mbps(100), mbps(1200));
+    }
+  }
+  view.colocation_group.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    view.colocation_group[m] =
+        with_colocation ? static_cast<int>(m / 2) : static_cast<int>(m);
+  }
+  if (with_cross) {
+    view.cross_traffic = DoubleMatrix(machines, machines, 0.0);
+    for (std::size_t i = 0; i < machines; ++i) {
+      for (std::size_t j = 0; j < machines; ++j) {
+        if (i != j && rng.chance(0.4)) view.cross_traffic(i, j) = rng.uniform(0.0, 4.0);
+      }
+    }
+  }
+  view.cores.assign(machines, 4.0);
+  return view;
+}
+
+Application single_transfer_app(std::size_t tasks, std::size_t src, std::size_t dst,
+                                double bytes) {
+  Application app;
+  app.cpu_demand.assign(tasks, 1.0);
+  app.traffic_bytes = DoubleMatrix(tasks, tasks, 0.0);
+  app.traffic_bytes(src, dst) = bytes;
+  return app;
+}
+
+class RateModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RateModelSweep, RateNonIncreasingInPlacedLoad) {
+  Rng rng(GetParam());
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 12));
+  const ClusterView view =
+      random_cluster(rng, machines, rng.chance(0.5), rng.chance(0.5));
+
+  for (const RateModel model : {RateModel::Hose, RateModel::Pipe}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto m = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(machines) - 1));
+      const auto n = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(machines) - 1));
+      const double out0 = rng.uniform(0.0, 5.0);
+      double prev_on = transfer_rate_bps(view, m, n, model, 0.0, out0);
+      double prev_out = transfer_rate_bps(view, m, n, model, 2.0, 0.0);
+      for (double load = 1.0; load <= 6.0; load += 1.0) {
+        // Growing placed_on_path with fixed placed_out_of_src...
+        const double r_on = transfer_rate_bps(view, m, n, model, load, out0);
+        EXPECT_LE(r_on, prev_on);
+        prev_on = r_on;
+        // ...and growing placed_out_of_src with fixed placed_on_path.
+        const double r_out = transfer_rate_bps(view, m, n, model, 2.0, load);
+        EXPECT_LE(r_out, prev_out);
+        prev_out = r_out;
+      }
+    }
+  }
+}
+
+TEST_P(RateModelSweep, IntraMachineRateDominatesEveryNetworkPath) {
+  Rng rng(GetParam() + 400);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  const ClusterView view =
+      random_cluster(rng, machines, rng.chance(0.5), rng.chance(0.5));
+  ClusterState state(view);
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (std::size_t n = 0; n < machines; ++n) {
+      for (const RateModel model : {RateModel::Hose, RateModel::Pipe}) {
+        const double r = transfer_rate_bps(view, m, n, model, 0.0, 0.0);
+        if (m == n) {
+          EXPECT_EQ(r, kIntraMachineRate);
+        } else {
+          EXPECT_LT(r, kIntraMachineRate);
+          // The engine's static bound agrees.
+          EXPECT_LT(state.engine().upper_bound_bps(m, n),
+                    state.engine().upper_bound_bps(m, m));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RateModelSweep, HoseMatchesPipeOnSingleTransferApps) {
+  Rng rng(GetParam() + 800);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 10));
+  const ClusterView view = random_cluster(rng, machines, false, rng.chance(0.5));
+
+  // A machine's hose is its best single-connection rate out, so a lone
+  // transfer can never be hose-limited below its own path rate: the hose
+  // estimate equals the pipe estimate exactly, for every placement.
+  const Application app = single_transfer_app(2, 0, 1, rng.uniform(1e8, 1e10));
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (std::size_t n = 0; n < machines; ++n) {
+      Placement p;
+      p.machine_of_task = {m, n};
+      EXPECT_EQ(estimate_completion_s(app, p, view, RateModel::Hose),
+                estimate_completion_s(app, p, view, RateModel::Pipe));
+    }
+  }
+}
+
+TEST_P(RateModelSweep, HoseNeverInvertsPipeOrderingOnSingleTransferApps) {
+  Rng rng(GetParam() + 1200);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 10));
+  const ClusterView view = random_cluster(rng, machines, false, rng.chance(0.5));
+  const Application app = single_transfer_app(3, 0, 2, rng.uniform(1e8, 1e10));
+
+  // Across random placement pairs, Hose <= Pipe holds per placement in
+  // general (extra hose bottlenecks only slow things down), and on
+  // single-transfer apps the completion-time ORDER of any two placements is
+  // identical under both models.
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto draw = [&] {
+      Placement p;
+      p.machine_of_task.resize(3);
+      for (auto& m : p.machine_of_task) {
+        m = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(machines) - 1));
+      }
+      return p;
+    };
+    const Placement a = draw(), b = draw();
+    const double pipe_a = estimate_completion_s(app, a, view, RateModel::Pipe);
+    const double pipe_b = estimate_completion_s(app, b, view, RateModel::Pipe);
+    const double hose_a = estimate_completion_s(app, a, view, RateModel::Hose);
+    const double hose_b = estimate_completion_s(app, b, view, RateModel::Hose);
+    EXPECT_GE(hose_a, pipe_a);
+    EXPECT_GE(hose_b, pipe_b);
+    if (pipe_a < pipe_b) {
+      EXPECT_LT(hose_a, hose_b);
+    }
+    if (pipe_a > pipe_b) {
+      EXPECT_GT(hose_a, hose_b);
+    }
+    if (pipe_a == pipe_b) {
+      EXPECT_EQ(hose_a, hose_b);
+    }
+  }
+}
+
+TEST_P(RateModelSweep, HoseEstimateDominatesPipeEstimateOnGeneralApps) {
+  Rng rng(GetParam() + 1600);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 8));
+  const ClusterView view = random_cluster(rng, machines, false, rng.chance(0.5));
+
+  const std::size_t tasks = static_cast<std::size_t>(rng.uniform_int(3, 6));
+  Application app;
+  app.cpu_demand.assign(tasks, 0.5);
+  app.traffic_bytes = DoubleMatrix(tasks, tasks, 0.0);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    for (std::size_t j = 0; j < tasks; ++j) {
+      if (i != j && rng.chance(0.5)) app.traffic_bytes(i, j) = rng.uniform(1e7, 1e9);
+    }
+  }
+  if (app.traffic_bytes.total() == 0.0) app.traffic_bytes(0, 1) = 1e8;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    Placement p;
+    p.machine_of_task.resize(tasks);
+    for (auto& m : p.machine_of_task) {
+      m = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(machines) - 1));
+    }
+    EXPECT_GE(estimate_completion_s(app, p, view, RateModel::Hose),
+              estimate_completion_s(app, p, view, RateModel::Pipe));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateModelSweep, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace choreo::place
