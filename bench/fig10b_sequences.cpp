@@ -10,6 +10,7 @@
 // Paper: improvement in 85-90% of runs; mean 22-43%; median 19-51%; max 79%;
 // median slowdown of degraded runs only 10%.
 
+#include <cstring>
 #include <map>
 
 #include "bench_common.h"
@@ -93,14 +94,21 @@ double run_sequence(cloud::Cloud& c, const std::vector<cloud::VmId>& vms,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choreo::bench;
 
-  constexpr std::size_t kRuns = 50;
+  // `--smoke` runs the reduced CI sweep; with fewer runs the distribution
+  // estimates are noisier, so the claim thresholds are proportionally
+  // relaxed (the full sweep keeps the paper-calibrated bounds).
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t kRuns = smoke ? 10 : 50;
   constexpr std::size_t kVms = 10;
 
   header("Fig 10(b): applications arriving in sequence (" + std::to_string(kRuns) +
-         " runs)");
+         " runs)" + (smoke ? " [smoke]" : ""));
 
   const workload::HpCloudTrace trace(123, paper_trace_config());
   Rng rng(777);
@@ -147,13 +155,16 @@ int main() {
     ++run;
   }
 
+  const double min_improved = smoke ? 0.55 : 0.6;
+  const double min_mean_pct = smoke ? 5.0 : 8.0;
+  const double min_max_pct = smoke ? 25.0 : 35.0;
   for (const auto& [name, values] : speedups) {
     const SpeedupStats s = speedup_stats(values);
     print_speedup_stats(name, s);
     std::cout << "\n";
-    check(s.improved_fraction >= 0.6,
+    check(s.improved_fraction >= min_improved,
           "vs " + name + ": Choreo improves most sequence runs (paper: 85-90%)");
-    check(s.mean_pct > 8.0,
+    check(s.mean_pct > min_mean_pct,
           "vs " + name + ": mean sequence gain is substantial (paper: 22-43%)");
   }
   double global_max = 0.0;
@@ -161,6 +172,6 @@ int main() {
     global_max = std::max(global_max, speedup_stats(values).max_pct);
   }
   std::cout << "max improvement over any alternative: " << fmt(global_max, 1) << "%\n";
-  check(global_max > 35.0, "max sequence improvement is large (paper: 79%)");
+  check(global_max > min_max_pct, "max sequence improvement is large (paper: 79%)");
   return finish();
 }

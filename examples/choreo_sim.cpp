@@ -5,12 +5,19 @@
 //
 //   choreo_sim --provider ec2 --vms 10 --apps 2 --algorithm greedy --seed 7
 //   choreo_sim --mode sequence --apps 4 --algorithm round-robin
+//   choreo_sim --mode session --tenants 3 --vms 8 --duration-hours 12 --bursty
 //   choreo_sim --help
+//
+// --mode session drives the discrete-event core::SessionRuntime: N tenants
+// on disjoint VM slices of one cloud, each streaming a diurnal trace
+// workload (optionally MMPP-bursty), interleaved on a shared clock — a
+// manual scenario harness for the control plane.
 
 #include <iostream>
 #include <memory>
 
 #include "core/controller.h"
+#include "core/runtime.h"
 #include "measure/throughput_matrix.h"
 #include "place/baselines.h"
 #include "place/greedy.h"
@@ -18,6 +25,7 @@
 #include "util/args.h"
 #include "util/table.h"
 #include "util/units.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
 
 namespace {
@@ -49,14 +57,19 @@ int main(int argc, char** argv) {
 
   Args args;
   args.add_option("provider", "ec2", "cloud model: ec2 | ec2-2012 | rackspace");
-  args.add_option("vms", "10", "VMs to rent");
+  args.add_option("vms", "10", "VMs to rent (per tenant in session mode)");
   args.add_option("apps", "2", "applications to place");
-  args.add_option("mode", "batch", "batch (combine & place at once) | sequence");
+  args.add_option("mode", "batch",
+                  "batch (combine & place at once) | sequence | session");
   args.add_option("algorithm", "greedy",
                   "greedy | random | round-robin | min-machines | ilp");
   args.add_option("rate-model", "hose", "hose | pipe (for greedy/ilp)");
   args.add_option("seed", "1", "experiment seed");
   args.add_option("mean-gap", "60", "sequence mode: mean inter-arrival gap (s)");
+  args.add_option("tenants", "2", "session mode: tenants sharing the cloud");
+  args.add_option("duration-hours", "6", "session mode: trace length per tenant");
+  args.add_option("apps-per-day", "48", "session mode: per-tenant arrival rate");
+  args.add_flag("bursty", "session mode: MMPP-modulate the arrival process");
   args.add_flag("truth", "place on ground-truth rates instead of packet trains");
   args.add_flag("help", "show this help");
 
@@ -82,21 +95,19 @@ int main(int argc, char** argv) {
   std::cout << "provider " << cloud.profile().name << ", " << n_vms << " VMs, seed "
             << seed << "\n";
 
-  // Workload from the synthetic HP-Cloud trace.
-  const workload::HpCloudTrace trace(seed * 7 + 5, workload::TraceConfig{});
-  Rng rng(seed * 11 + 3);
-
-  // Measurement (or ground truth with --truth).
   measure::MeasurementPlan plan;
   plan.train.bursts = 10;
   plan.train.burst_length = args.get("provider") == "rackspace" ? 2000 : 200;
-  const place::ClusterView view =
-      args.get_flag("truth") ? measure::true_cluster_view(cloud, vms, seed)
-                             : measure::measured_cluster_view(cloud, vms, plan, seed);
-
-  const auto placer = make_placer(args.get("algorithm"), model, seed);
 
   if (args.get("mode") == "batch") {
+    // Workload from the synthetic HP-Cloud trace; measurement (or ground
+    // truth with --truth) up front, placement by the chosen algorithm.
+    const workload::HpCloudTrace trace(seed * 7 + 5, workload::TraceConfig{});
+    Rng rng(seed * 11 + 3);
+    const place::ClusterView view =
+        args.get_flag("truth") ? measure::true_cluster_view(cloud, vms, seed)
+                               : measure::measured_cluster_view(cloud, vms, plan, seed);
+    const auto placer = make_placer(args.get("algorithm"), model, seed);
     const place::Application combined = place::combine(trace.sample_batch(rng, n_apps));
     place::ClusterState state(view);
     const place::Placement placement = placer->place(combined, state);
@@ -128,6 +139,8 @@ int main(int argc, char** argv) {
   }
 
   if (args.get("mode") == "sequence") {
+    const workload::HpCloudTrace trace(seed * 7 + 5, workload::TraceConfig{});
+    Rng rng(seed * 11 + 3);
     auto apps = trace.sample_sequence(rng, n_apps, args.get_double("mean-gap"));
     core::ControllerConfig config;
     config.choreo.plan = plan;
@@ -138,13 +151,88 @@ int main(int argc, char** argv) {
 
     Table t({"t (s)", "event", "detail"});
     for (const core::SessionEvent& e : log.events) {
-      t.add_row({fmt(e.time_s, 0), e.kind, e.detail});
+      t.add_row({fmt(e.time_s, 0), core::to_string(e.kind), log.detail(e)});
     }
     std::cout << t.to_string();
     std::cout << "total runtime (sum over apps): " << fmt(log.total_runtime_s, 1)
               << " s; re-evaluations: " << log.reevaluations << " ("
               << log.reevaluations_adopted << " adopted, " << log.tasks_migrated
               << " tasks migrated)\n";
+    return 0;
+  }
+
+  if (args.get("mode") == "session") {
+    const auto n_tenants = static_cast<std::size_t>(args.get_int("tenants"));
+    workload::TraceConfig trace_cfg;
+    trace_cfg.duration_hours = args.get_double("duration-hours");
+    trace_cfg.apps_per_day = args.get_double("apps-per-day");
+    trace_cfg.gen.min_tasks = 3;
+    trace_cfg.gen.max_tasks = 6;
+    trace_cfg.gen.max_cpu = 2.0;
+
+    // Per-tenant workload streams: a diurnal trace, optionally re-timed by
+    // the MMPP burstiness modulator. Streams must outlive the session.
+    std::vector<std::unique_ptr<workload::ArrivalStream>> streams;
+    std::vector<core::TenantSpec> tenants;
+    for (std::size_t i = 0; i < n_tenants; ++i) {
+      auto trace_stream = std::make_unique<workload::TraceArrivalStream>(
+          seed * 1000 + i, trace_cfg);
+      workload::ArrivalStream* source = trace_stream.get();
+      streams.push_back(std::move(trace_stream));
+      if (args.get_flag("bursty")) {
+        // Calm/burst states scaled to the configured arrival rate, so
+        // --apps-per-day still governs the long-run average under --bursty.
+        workload::MmppArrivalStream::Config mmpp;
+        const double base_rate_per_s = trace_cfg.apps_per_day / 86400.0;
+        mmpp.rate_per_s = {0.5 * base_rate_per_s, 3.0 * base_rate_per_s};
+        mmpp.mean_sojourn_s = {1800.0, 300.0};
+        mmpp.duration_s = trace_cfg.duration_hours * 3600.0;
+        streams.push_back(std::make_unique<workload::MmppArrivalStream>(
+            *source, seed * 2000 + i, mmpp));
+        source = streams.back().get();
+      }
+      core::TenantSpec spec;
+      spec.name = "tenant" + std::to_string(i);
+      spec.vms = (i == 0) ? vms : cloud.allocate_vms(n_vms);
+      spec.config.choreo.plan = plan;
+      spec.config.choreo.rate_model = model;
+      spec.config.choreo.use_measured_view = !args.get_flag("truth");
+      spec.stream = source;
+      tenants.push_back(std::move(spec));
+    }
+
+    core::MultiTenantSession session(cloud, std::move(tenants));
+    const core::MultiTenantLog result = session.run();
+
+    Table t({"tenant", "apps", "rejected", "reevals (adopted)", "migrated",
+             "runtime sum (s)", "measure wall (s)", "probes"});
+    for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+      const core::SessionLog& log = result.tenants[i];
+      t.add_row({"tenant" + std::to_string(i), std::to_string(log.apps.size()),
+                 std::to_string(log.rejected),
+                 std::to_string(log.reevaluations) + " (" +
+                     std::to_string(log.reevaluations_adopted) + ")",
+                 std::to_string(log.tasks_migrated), fmt(log.total_runtime_s, 1),
+                 fmt(log.measurement_wall_s, 1), std::to_string(log.pairs_probed)});
+    }
+    const core::SessionLog& agg = result.aggregate;
+    t.add_row({"aggregate", std::to_string(agg.apps.size()),
+               std::to_string(agg.rejected),
+               std::to_string(agg.reevaluations) + " (" +
+                   std::to_string(agg.reevaluations_adopted) + ")",
+               std::to_string(agg.tasks_migrated), fmt(agg.total_runtime_s, 1),
+               fmt(agg.measurement_wall_s, 1), std::to_string(agg.pairs_probed)});
+    std::cout << t.to_string();
+
+    std::uint64_t events = 0;
+    std::size_t peak_state = 0;
+    for (const core::SessionRuntime::Stats& s : session.tenant_stats()) {
+      events += s.events_processed;
+      peak_state += s.peak_queue + s.peak_in_flight + s.peak_waiting;
+    }
+    std::cout << "aggregate events: " << agg.events.size() << " merged, " << events
+              << " processed; peak runtime state (events+apps): " << peak_state
+              << "\n";
     return 0;
   }
 

@@ -1,11 +1,8 @@
 #include "core/controller.h"
 
-#include <algorithm>
-#include <limits>
-#include <map>
-
-#include "place/rate_model.h"
+#include "core/runtime.h"
 #include "util/require.h"
+#include "workload/stream.h"
 
 namespace choreo::core {
 
@@ -22,139 +19,9 @@ SessionLog Controller::run(const std::vector<place::Application>& apps) {
     CHOREO_REQUIRE_MSG(apps[i - 1].arrival_s <= apps[i].arrival_s,
                        "applications must be sorted by arrival time");
   }
-
-  Choreo choreo(cloud_, vms_, config_.choreo);
-  std::uint64_t epoch = 1;
-  SessionLog log;
-
-  const auto measure = [&] {
-    choreo.measure_network(epoch++);
-    log.measurement_wall_s += choreo.last_measure().wall_time_s;
-    log.pairs_probed += choreo.last_measure().pairs_probed;
-  };
-  measure();
-
-  log.apps.resize(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    log.apps[i].name = apps[i].name;
-    log.apps[i].arrival_s = apps[i].arrival_s;
-  }
-
-  struct Running {
-    std::size_t app_index;
-    Choreo::AppHandle handle;
-    double est_finish_s;
-  };
-  std::vector<Running> running;
-  std::deque<std::size_t> waiting;  // indices into apps, FIFO
-  std::size_t next_arrival = 0;
-  double now = 0.0;
-  double next_reeval = config_.choreo.reevaluate_period_s;
-
-  const auto estimate_finish = [&](std::size_t app_index, const place::Placement& p) {
-    return now + place::estimate_completion_s(apps[app_index], p, choreo.view(),
-                                              config_.choreo.rate_model);
-  };
-
-  const auto try_place = [&](std::size_t app_index) -> bool {
-    try {
-      const auto handle = choreo.place_application(apps[app_index]);
-      const place::Placement& p = choreo.placement_of(handle);
-      running.push_back(Running{app_index, handle, estimate_finish(app_index, p)});
-      log.apps[app_index].placed_s = now;
-      log.apps[app_index].placement = p;
-      log.events.push_back({now, "placed", apps[app_index].name});
-      return true;
-    } catch (const place::PlacementError&) {
-      return false;
-    }
-  };
-
-  const auto finish_due = [&] {
-    for (auto it = running.begin(); it != running.end();) {
-      if (it->est_finish_s <= now + 1e-9) {
-        log.apps[it->app_index].finished_s = it->est_finish_s;
-        log.events.push_back({it->est_finish_s, "departure", apps[it->app_index].name});
-        choreo.remove_application(it->handle);
-        it = running.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
-  while (next_arrival < apps.size() || !running.empty() || !waiting.empty()) {
-    // Next event time: arrival, earliest departure, or re-evaluation tick.
-    double t_next = std::numeric_limits<double>::infinity();
-    if (next_arrival < apps.size()) {
-      t_next = std::min(t_next, apps[next_arrival].arrival_s);
-    }
-    for (const Running& r : running) t_next = std::min(t_next, r.est_finish_s);
-    if (!running.empty()) t_next = std::min(t_next, next_reeval);
-    CHOREO_ASSERT_MSG(std::isfinite(t_next), "controller stalled with waiting apps");
-    now = std::max(now, t_next);
-
-    // Departures free capacity first, then queued apps get another chance.
-    finish_due();
-    if (!waiting.empty()) {
-      while (!waiting.empty() && try_place(waiting.front())) waiting.pop_front();
-    }
-
-    // Arrivals at this instant.
-    while (next_arrival < apps.size() && apps[next_arrival].arrival_s <= now + 1e-9) {
-      const std::size_t idx = next_arrival++;
-      log.events.push_back({now, "arrival", apps[idx].name});
-      // §2.4: re-measure (incrementally) before placing. The refreshed view
-      // is swapped into the live placement state, so the engine's residual
-      // occupancy carries across arrivals instead of being replayed.
-      measure();
-      if (!try_place(idx)) {
-        if (config_.queue_when_full) {
-          waiting.push_back(idx);
-          log.events.push_back({now, "deferred", apps[idx].name});
-        } else {
-          // Deterministic failure path: the arrival is rejected, logged, and
-          // left unplaced — it never enters the queue and never blocks the
-          // session.
-          log.apps[idx].rejected = true;
-          ++log.rejected;
-          log.events.push_back({now, "rejected", apps[idx].name});
-        }
-      }
-    }
-
-    // Periodic re-evaluation (§2.4).
-    if (!running.empty() && now + 1e-9 >= next_reeval) {
-      const auto report = choreo.reevaluate(epoch++);
-      ++log.reevaluations;
-      log.measurement_wall_s += report.measurement.wall_time_s;
-      log.pairs_probed += report.measurement.pairs_probed;
-      if (report.adopted) {
-        ++log.reevaluations_adopted;
-        log.tasks_migrated += report.tasks_migrated;
-        // Placements changed: refresh estimates and recorded placements.
-        for (Running& r : running) {
-          const place::Placement& p = choreo.placement_of(r.handle);
-          log.apps[r.app_index].placement = p;
-          r.est_finish_s = estimate_finish(r.app_index, p);
-        }
-      }
-      log.events.push_back(
-          {now, "reevaluation",
-           report.adopted ? "migrated " + std::to_string(report.tasks_migrated) + " tasks"
-                          : "kept placements"});
-      next_reeval = now + config_.choreo.reevaluate_period_s;
-    }
-
-    if (waiting.empty() && next_arrival >= apps.size() && running.empty()) break;
-    CHOREO_ASSERT_MSG(!(next_arrival >= apps.size() && running.empty() && !waiting.empty()),
-                      "waiting applications can never be placed");
-  }
-
-  for (const AppOutcome& a : log.apps) {
-    if (a.finished_s >= 0.0) log.total_runtime_s += a.finished_s - a.arrival_s;
-  }
-  return log;
+  workload::VectorArrivalStream stream(apps);
+  SessionRuntime runtime(cloud_, vms_, config_);
+  return runtime.run(stream);
 }
 
 }  // namespace choreo::core

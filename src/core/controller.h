@@ -1,64 +1,18 @@
 #pragma once
 
-#include <cstdint>
-#include <deque>
-#include <string>
 #include <vector>
 
-#include "core/choreo.h"
+#include "core/session.h"
 
 namespace choreo::core {
 
-/// Drives a whole tenant session the way §2 describes Choreo operating in
-/// production: applications arrive over time and are placed on arrival
-/// (re-measuring first), finished applications release their VMs, and
-/// "every T minutes, Choreo re-evaluates its placement of the existing
-/// applications, and migrates tasks if necessary" (§2.4).
-///
-/// Departures are driven by the analytic completion estimate, which is the
-/// information a controller actually has before the run finishes.
-struct ControllerConfig {
-  ChoreoConfig choreo;
-  /// Applications that do not fit at arrival wait in a FIFO queue and are
-  /// retried at each departure. When false, an arrival that does not fit is
-  /// rejected deterministically: a "rejected" event is logged, the app stays
-  /// unplaced (placed_s < 0), and the session continues.
-  bool queue_when_full = true;
-};
-
-struct SessionEvent {
-  double time_s = 0.0;
-  std::string kind;    ///< "arrival", "deferred", "rejected", "placed",
-                       ///< "departure", "reevaluation"
-  std::string detail;
-};
-
-struct AppOutcome {
-  std::string name;
-  double arrival_s = 0.0;
-  double placed_s = -1.0;   ///< may be later than arrival if queued; stays
-                            ///< negative when the app was rejected
-  double finished_s = -1.0;
-  bool rejected = false;    ///< did not fit and queue_when_full was false
-  place::Placement placement;
-};
-
-struct SessionLog {
-  std::vector<SessionEvent> events;
-  std::vector<AppOutcome> apps;
-  std::size_t reevaluations = 0;
-  std::size_t reevaluations_adopted = 0;
-  std::size_t tasks_migrated = 0;
-  std::size_t rejected = 0;  ///< arrivals rejected (queue_when_full = false)
-  /// Sum over applications of (finished - arrival): the §6.3 metric.
-  double total_runtime_s = 0.0;
-  /// Measurement-plane cost of the whole session: modeled wall-clock and
-  /// probe count summed over every measurement cycle (arrivals and
-  /// re-evaluations). Incremental refresh shrinks both.
-  double measurement_wall_s = 0.0;
-  std::size_t pairs_probed = 0;
-};
-
+/// Single-tenant session driver: the historical entry point the §6 benches
+/// and examples use. Since the control-plane refactor it is a thin facade
+/// over the discrete-event core::SessionRuntime (see core/runtime.h) — the
+/// materialized workload vector is adapted to a workload::ArrivalStream and
+/// replayed through the typed event queue, producing a SessionLog
+/// bit-identical to the original hand-rolled merge loop (pinned by
+/// test_runtime_differential against run_session_reference).
 class Controller {
  public:
   Controller(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ControllerConfig config);

@@ -1,0 +1,35 @@
+#include "core/session.h"
+
+#include "util/require.h"
+
+namespace choreo::core {
+
+const char* to_string(SessionEventKind kind) {
+  switch (kind) {
+    case SessionEventKind::Arrival:
+      return "arrival";
+    case SessionEventKind::Deferred:
+      return "deferred";
+    case SessionEventKind::Rejected:
+      return "rejected";
+    case SessionEventKind::Placed:
+      return "placed";
+    case SessionEventKind::Departure:
+      return "departure";
+    case SessionEventKind::Reevaluation:
+      return "reevaluation";
+  }
+  return "unknown";
+}
+
+std::string SessionLog::detail(const SessionEvent& e) const {
+  if (e.kind == SessionEventKind::Reevaluation) {
+    return e.adopted ? "migrated " + std::to_string(e.tasks_migrated) + " tasks"
+                     : "kept placements";
+  }
+  CHOREO_REQUIRE_MSG(e.app < apps.size(),
+                     "event payload does not index this log's outcomes");
+  return apps[e.app].name;
+}
+
+}  // namespace choreo::core

@@ -11,26 +11,30 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 }
 
+// Arrivals: non-homogeneous Poisson via thinning, with a diurnal rate
+// lambda(t) = base * (1 + A*sin(2*pi*(h - 8)/24)).
+bool advance_to_next_arrival(Rng& rng, const TraceConfig& config, double& t_hours) {
+  const double base_per_hour = config.apps_per_day / 24.0;
+  const double lambda_max = base_per_hour * (1.0 + config.diurnal_amplitude);
+  while (true) {
+    t_hours += rng.exponential(1.0 / lambda_max);
+    if (t_hours >= config.duration_hours) return false;
+    const double hour_of_day = std::fmod(t_hours, 24.0);
+    const double lambda = base_per_hour *
+                          (1.0 + config.diurnal_amplitude *
+                                     std::sin(2.0 * kPi * (hour_of_day - 8.0) / 24.0));
+    if (rng.chance(std::min(1.0, lambda / lambda_max))) return true;
+  }
+}
+
 HpCloudTrace::HpCloudTrace(std::uint64_t seed, TraceConfig config)
     : config_(std::move(config)) {
   CHOREO_REQUIRE(config_.duration_hours > 0.0);
   CHOREO_REQUIRE(config_.apps_per_day > 0.0);
   Rng rng(seed);
 
-  // Arrivals: non-homogeneous Poisson via thinning, with a diurnal rate
-  // lambda(t) = base * (1 + A*sin(2*pi*(h - 8)/24)).
-  const double base_per_hour = config_.apps_per_day / 24.0;
-  const double lambda_max = base_per_hour * (1.0 + config_.diurnal_amplitude);
   double t_hours = 0.0;
-  while (true) {
-    t_hours += rng.exponential(1.0 / lambda_max);
-    if (t_hours >= config_.duration_hours) break;
-    const double hour_of_day = std::fmod(t_hours, 24.0);
-    const double lambda = base_per_hour *
-                          (1.0 + config_.diurnal_amplitude *
-                                     std::sin(2.0 * kPi * (hour_of_day - 8.0) / 24.0));
-    if (!rng.chance(std::min(1.0, lambda / lambda_max))) continue;
-
+  while (advance_to_next_arrival(rng, config_, t_hours)) {
     TraceApp entry;
     entry.app = generate_app(rng, config_.gen);
     entry.start_s = t_hours * 3600.0;

@@ -30,6 +30,13 @@ struct TraceConfig {
   double series_noise_sigma = 0.2;
 };
 
+/// Advances `t_hours` through the §6.1 arrival process — a diurnally
+/// modulated Poisson process sampled by thinning — to the next accepted
+/// arrival. Returns false once the trace window is exhausted. Shared by
+/// HpCloudTrace (which materializes the trace) and TraceArrivalStream
+/// (which streams it), so the two arrival models cannot drift apart.
+bool advance_to_next_arrival(Rng& rng, const TraceConfig& config, double& t_hours);
+
 /// Synthetic stand-in for the HP Cloud dataset (§6.1): applications with
 /// observed start times over three weeks, real-looking traffic matrices and
 /// per-hour transfer volumes. The paper's dataset is proprietary; this

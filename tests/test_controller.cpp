@@ -62,7 +62,9 @@ TEST_F(ControllerTest, QueuesWhenClusterFull) {
   Controller controller(cloud_, vms_, config_);
   const SessionLog log = controller.run(apps);
   bool deferred = false;
-  for (const SessionEvent& e : log.events) deferred |= (e.kind == "deferred");
+  for (const SessionEvent& e : log.events) {
+    deferred |= (e.kind == SessionEventKind::Deferred);
+  }
   EXPECT_TRUE(deferred);
   // The deferred app still completes, strictly after some departure.
   const AppOutcome& last = log.apps.back();
@@ -102,11 +104,11 @@ TEST_F(ControllerTest, RejectsDeterministicallyWhenQueueingDisabledAndFull) {
   EXPECT_EQ(log.rejected, 1u);
   std::size_t rejected_events = 0;
   for (const SessionEvent& e : log.events) {
-    if (e.kind == "rejected") {
+    if (e.kind == SessionEventKind::Rejected) {
       ++rejected_events;
-      EXPECT_EQ(e.detail, "fat3");
+      EXPECT_EQ(log.detail(e), "fat3");
     }
-    EXPECT_NE(e.kind, "deferred");  // rejection never silently queues
+    EXPECT_NE(e.kind, SessionEventKind::Deferred);  // rejection never silently queues
   }
   EXPECT_EQ(rejected_events, 1u);
 
@@ -128,6 +130,107 @@ TEST_F(ControllerTest, RejectsDeterministicallyWhenQueueingDisabledAndFull) {
   EXPECT_EQ(log2.rejected, 1u);
   EXPECT_TRUE(log2.apps.back().rejected);
   EXPECT_DOUBLE_EQ(log.total_runtime_s, log2.total_runtime_s);
+}
+
+TEST_F(ControllerTest, QueuedAppsRetryInFifoOrderAtEachDeparture) {
+  // 6 machines x 4 cores = 24 cores; every app needs 8 cores, so exactly
+  // three run at a time. Apps fat0-2 fill the cluster at t=0 with distinct
+  // transfer sizes (=> distinct, strictly ordered departures); fat3-5 arrive
+  // while it is full and must queue. Each departure frees room for exactly
+  // one queued app, so the queue must drain one per departure, in FIFO
+  // arrival order, with placed_s equal to the departure instant that freed
+  // the capacity.
+  std::vector<place::Application> apps;
+  for (int i = 0; i < 3; ++i) {
+    apps.push_back(small_app("fat" + std::to_string(i), 0.0, 4.0,
+                             gigabytes(2.0 * (i + 1))));
+  }
+  for (int i = 3; i < 6; ++i) {
+    apps.push_back(
+        small_app("fat" + std::to_string(i), static_cast<double>(i - 2), 4.0,
+                  gigabytes(3)));
+  }
+  Controller controller(cloud_, vms_, config_);
+  const SessionLog log = controller.run(apps);
+
+  // All six deferred-or-not apps finish.
+  for (const AppOutcome& a : log.apps) {
+    EXPECT_FALSE(a.rejected);
+    EXPECT_GE(a.finished_s, 0.0);
+  }
+  // fat3..fat5 were each deferred exactly once, in arrival order.
+  std::vector<std::uint32_t> deferred_order;
+  for (const SessionEvent& e : log.events) {
+    if (e.kind == SessionEventKind::Deferred) deferred_order.push_back(e.app);
+  }
+  ASSERT_EQ(deferred_order.size(), 3u);
+  EXPECT_EQ(deferred_order, (std::vector<std::uint32_t>{3, 4, 5}));
+
+  // FIFO drain: the queued apps are placed in arrival order, strictly one
+  // per departure, and each placed_s coincides with a departure event.
+  std::vector<double> departures;
+  for (const SessionEvent& e : log.events) {
+    if (e.kind == SessionEventKind::Departure) departures.push_back(e.time_s);
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_GT(log.apps[i].placed_s, log.apps[i].arrival_s);
+    if (i > 3) {
+      EXPECT_GT(log.apps[i].placed_s, log.apps[i - 1].placed_s);
+    }
+    bool at_departure = false;
+    for (double t : departures) at_departure |= (t == log.apps[i].placed_s);
+    EXPECT_TRUE(at_departure) << "fat" << i << " placed off-departure at "
+                              << log.apps[i].placed_s;
+  }
+  // The first queued app gets the first freed slot: fat0 has the smallest
+  // transfer, so fat3's retry time is exactly fat0's departure.
+  EXPECT_DOUBLE_EQ(log.apps[3].placed_s, log.apps[0].finished_s);
+}
+
+TEST_F(ControllerTest, RejectionAccountingExactUnderChurn) {
+  // queue_when_full = false under churn: arrivals land both while the
+  // cluster is full (rejected) and after departures freed it (placed).
+  // Rejection accounting must be exact: every rejected app has exactly one
+  // "rejected" event, placed_s/finished_s stay negative, nothing is ever
+  // deferred, and everyone else completes normally.
+  config_.queue_when_full = false;
+  std::vector<place::Application> apps;
+  // Wave 1 fills the cluster at t=0 (3 x 8 cores = 24).
+  for (int i = 0; i < 3; ++i) {
+    apps.push_back(small_app("w1-" + std::to_string(i), 0.0, 4.0, gigabytes(4)));
+  }
+  // These arrive while full: rejected.
+  apps.push_back(small_app("full-a", 1.0, 4.0));
+  apps.push_back(small_app("full-b", 2.0, 4.0));
+  // This arrives long after wave 1 departed: placed.
+  apps.push_back(small_app("late", 4000.0, 4.0));
+  Controller controller(cloud_, vms_, config_);
+  const SessionLog log = controller.run(apps);
+
+  std::size_t rejected_outcomes = 0;
+  for (const AppOutcome& a : log.apps) {
+    if (a.rejected) {
+      ++rejected_outcomes;
+      EXPECT_LT(a.placed_s, 0.0);
+      EXPECT_LT(a.finished_s, 0.0);
+      EXPECT_FALSE(a.placement.complete());
+    } else {
+      EXPECT_DOUBLE_EQ(a.placed_s, a.arrival_s);  // never queued, never late
+      EXPECT_GT(a.finished_s, a.placed_s);
+    }
+  }
+  EXPECT_EQ(rejected_outcomes, 2u);
+  EXPECT_EQ(log.rejected, 2u);
+
+  std::size_t rejected_events = 0;
+  for (const SessionEvent& e : log.events) {
+    EXPECT_NE(e.kind, SessionEventKind::Deferred);
+    if (e.kind == SessionEventKind::Rejected) ++rejected_events;
+  }
+  EXPECT_EQ(rejected_events, 2u);
+  EXPECT_TRUE(log.apps[3].rejected);
+  EXPECT_TRUE(log.apps[4].rejected);
+  EXPECT_FALSE(log.apps[5].rejected);
 }
 
 TEST_F(ControllerTest, SessionWithTraceWorkload) {

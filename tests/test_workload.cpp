@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "workload/generator.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
 
 namespace choreo::workload {
@@ -144,6 +148,142 @@ TEST(Predictors, PrevHourExactOnConstantSeries) {
 TEST(Predictors, EmptySeries) {
   EXPECT_EQ(score_prev_hour({}).samples, 0u);
   EXPECT_EQ(score_time_of_day({}).samples, 0u);
+}
+
+// ---- arrival streams (workload/stream.h) ----------------------------------
+
+TEST(Streams, VectorStreamYieldsAllInOrder) {
+  Rng rng(3);
+  GeneratorConfig cfg;
+  std::vector<place::Application> apps;
+  for (int i = 0; i < 4; ++i) {
+    apps.push_back(generate_app(rng, cfg));
+    apps.back().arrival_s = 10.0 * i;
+  }
+  VectorArrivalStream stream(apps);
+  for (int i = 0; i < 4; ++i) {
+    const auto app = stream.next();
+    ASSERT_TRUE(app.has_value());
+    EXPECT_EQ(app->name, apps[static_cast<std::size_t>(i)].name);
+    EXPECT_DOUBLE_EQ(app->arrival_s, 10.0 * i);
+  }
+  EXPECT_FALSE(stream.next().has_value());
+}
+
+TEST(Streams, TraceStreamMatchesTraceStatistics) {
+  // Monotone arrivals inside the horizon, valid apps, and a Poisson count
+  // within a loose band of apps_per_day * days.
+  TraceConfig cfg;
+  cfg.duration_hours = 7.0 * 24.0;
+  cfg.apps_per_day = 24.0;
+  TraceArrivalStream stream(99, cfg);
+  double last = 0.0;
+  std::size_t count = 0;
+  while (const auto app = stream.next()) {
+    app->validate();
+    EXPECT_GE(app->arrival_s, last);
+    EXPECT_LT(app->arrival_s, cfg.duration_hours * 3600.0);
+    last = app->arrival_s;
+    ++count;
+  }
+  EXPECT_EQ(count, stream.emitted());
+  const double expected = cfg.apps_per_day * 7.0;
+  EXPECT_GT(static_cast<double>(count), expected * 0.6);
+  EXPECT_LT(static_cast<double>(count), expected * 1.4);
+
+  // Same seed => identical stream (arrival-by-arrival).
+  TraceArrivalStream a(123, cfg), b(123, cfg);
+  for (int i = 0; i < 20; ++i) {
+    const auto x = a.next();
+    const auto y = b.next();
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x) break;
+    EXPECT_EQ(x->arrival_s, y->arrival_s);
+    EXPECT_EQ(x->name, y->name);
+    EXPECT_EQ(x->cpu_demand, y->cpu_demand);
+  }
+}
+
+TEST(Streams, GeneratorStreamHonorsCaps) {
+  GeneratorArrivalStream::Config cfg;
+  cfg.mean_gap_s = 30.0;
+  cfg.max_apps = 25;
+  GeneratorArrivalStream stream(7, cfg);
+  double last = 0.0;
+  std::size_t count = 0;
+  while (const auto app = stream.next()) {
+    app->validate();
+    EXPECT_GE(app->arrival_s, last);
+    last = app->arrival_s;
+    ++count;
+  }
+  EXPECT_EQ(count, 25u);
+
+  GeneratorArrivalStream::Config bounded = cfg;
+  bounded.max_apps = 0;
+  bounded.duration_s = 600.0;
+  GeneratorArrivalStream stream2(7, bounded);
+  while (const auto app = stream2.next()) EXPECT_LT(app->arrival_s, 600.0);
+}
+
+TEST(Streams, PhasedStreamAggregatesPhases) {
+  PhasedArrivalStream::Config cfg;
+  cfg.max_apps = 6;
+  PhasedArrivalStream stream(11, cfg);
+  std::size_t count = 0;
+  double last = 0.0;
+  while (const auto app = stream.next()) {
+    app->validate();
+    EXPECT_GT(app->traffic_bytes.total(), 0.0);
+    EXPECT_GE(app->arrival_s, last);
+    last = app->arrival_s;
+    ++count;
+  }
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(Streams, MmppModulatorIsBurstierThanPoisson) {
+  // Payloads come from the inner stream; timing is replaced by a two-state
+  // MMPP whose rate contrast makes inter-arrival gaps over-dispersed
+  // relative to a plain Poisson process (coefficient of variation > 1).
+  GeneratorArrivalStream::Config inner_cfg;
+  inner_cfg.mean_gap_s = 30.0;
+  inner_cfg.max_apps = 4000;
+  GeneratorArrivalStream inner(21, inner_cfg);
+  MmppArrivalStream::Config mmpp;
+  mmpp.rate_per_s = {1.0 / 120.0, 1.0 / 5.0};
+  mmpp.mean_sojourn_s = {1200.0, 300.0};
+  MmppArrivalStream stream(inner, 22, mmpp);
+
+  std::vector<double> gaps;
+  double last = 0.0;
+  while (const auto app = stream.next()) {
+    EXPECT_GE(app->arrival_s, last);
+    gaps.push_back(app->arrival_s - last);
+    last = app->arrival_s;
+  }
+  ASSERT_GT(gaps.size(), 500u);
+  double sum = 0.0;
+  for (double g : gaps) sum += g;
+  const double mean_gap = sum / static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean_gap) * (g - mean_gap);
+  var /= static_cast<double>(gaps.size());
+  const double cv = std::sqrt(var) / mean_gap;
+  EXPECT_GT(cv, 1.1);
+
+  // Determinism: same seeds => same arrival instants.
+  GeneratorArrivalStream inner2(21, inner_cfg);
+  MmppArrivalStream stream2(inner2, 22, mmpp);
+  GeneratorArrivalStream inner3(21, inner_cfg);
+  MmppArrivalStream stream3(inner3, 22, mmpp);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = stream2.next();
+    const auto y = stream3.next();
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x) break;
+    EXPECT_EQ(x->arrival_s, y->arrival_s);
+  }
 }
 
 }  // namespace
