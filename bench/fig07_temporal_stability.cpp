@@ -4,8 +4,12 @@
 // the CDF of |lambda_c - lambda_{c-tau}| / lambda_c for tau in {1,5,10,30}
 // minutes. Paper: EC2 >= 95% of paths see <= 6% error (median 0.4-0.5%);
 // Rackspace is even tighter (95% <= 0.62%, median ~0.2%).
+//
+// `--smoke` samples fewer paths for CI; the exit code is non-zero on any
+// failed check.
 
 #include <cmath>
+#include <cstring>
 #include <map>
 
 #include "bench_common.h"
@@ -65,12 +69,20 @@ void print_errors(const ErrorsByTau& errors) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace choreo;
   using namespace choreo::bench;
 
-  header("Fig 7(a): EC2 temporal stability (60 paths, 30 min, 10 s samples)");
-  const ErrorsByTau ec2 = run(cloud::ec2_2013(), 60, 55);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t ec2_paths = smoke ? 24 : 60;
+  const std::size_t rs_paths = smoke ? 12 : 30;
+
+  header("Fig 7(a): EC2 temporal stability (" + std::to_string(ec2_paths) +
+         " paths, 30 min, 10 s samples" + (smoke ? ") [smoke]" : ")"));
+  const ErrorsByTau ec2 = run(cloud::ec2_2013(), ec2_paths, 55);
   print_errors(ec2);
   bool ec2_tail_ok = true, ec2_median_ok = true;
   for (const auto& [tau, cdf] : ec2) {
@@ -80,8 +92,9 @@ int main() {
   check(ec2_tail_ok, "EC2: >= 95% of samples within ~6-8% for every tau");
   check(ec2_median_ok, "EC2: median error well under 2% (paper: 0.4-0.5%)");
 
-  header("Fig 7(b): Rackspace temporal stability (30 paths)");
-  const ErrorsByTau rs = run(cloud::rackspace(), 30, 77);
+  header("Fig 7(b): Rackspace temporal stability (" + std::to_string(rs_paths) +
+         " paths)");
+  const ErrorsByTau rs = run(cloud::rackspace(), rs_paths, 77);
   print_errors(rs);
   bool rs_tail_ok = true;
   for (const auto& [tau, cdf] : rs) {

@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
   args.add_option("duration-hours", "6", "session mode: trace length per tenant");
   args.add_option("apps-per-day", "48", "session mode: per-tenant arrival rate");
   args.add_flag("bursty", "session mode: MMPP-modulate the arrival process");
+  args.add_flag("forecast",
+                "enable the forecast plane: predictability-driven refresh + "
+                "uncertainty-discounted placement rates");
   args.add_flag("truth", "place on ground-truth rates instead of packet trains");
   args.add_flag("help", "show this help");
 
@@ -138,6 +141,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // The per-pair refresh mix a session spent its probes on (and saved them
+  // with): the Choreo::last_measure() counters summed over every cycle.
+  const auto print_probe_mix = [](const core::SessionLog& log) {
+    std::cout << "probe mix: " << log.pairs_probed << " probed ("
+              << log.pairs_volatile << " volatile, " << log.pairs_unpredictable
+              << " unpredictable, " << log.pairs_changepoint
+              << " change-point); " << log.pairs_predictable
+              << " skipped on forecasts, " << log.pairs_predicted
+              << " view entries predicted\n";
+  };
+
   if (args.get("mode") == "sequence") {
     const workload::HpCloudTrace trace(seed * 7 + 5, workload::TraceConfig{});
     Rng rng(seed * 11 + 3);
@@ -146,6 +160,7 @@ int main(int argc, char** argv) {
     config.choreo.plan = plan;
     config.choreo.rate_model = model;
     config.choreo.use_measured_view = !args.get_flag("truth");
+    config.choreo.forecast.enabled = args.get_flag("forecast");
     core::Controller controller(cloud, vms, config);
     const core::SessionLog log = controller.run(apps);
 
@@ -158,6 +173,7 @@ int main(int argc, char** argv) {
               << " s; re-evaluations: " << log.reevaluations << " ("
               << log.reevaluations_adopted << " adopted, " << log.tasks_migrated
               << " tasks migrated)\n";
+    print_probe_mix(log);
     return 0;
   }
 
@@ -197,6 +213,7 @@ int main(int argc, char** argv) {
       spec.config.choreo.plan = plan;
       spec.config.choreo.rate_model = model;
       spec.config.choreo.use_measured_view = !args.get_flag("truth");
+      spec.config.choreo.forecast.enabled = args.get_flag("forecast");
       spec.stream = source;
       tenants.push_back(std::move(spec));
     }
@@ -233,6 +250,7 @@ int main(int argc, char** argv) {
     std::cout << "aggregate events: " << agg.events.size() << " merged, " << events
               << " processed; peak runtime state (events+apps): " << peak_state
               << "\n";
+    print_probe_mix(agg);
     return 0;
   }
 

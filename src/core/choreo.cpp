@@ -9,7 +9,8 @@
 namespace choreo::core {
 
 Choreo::Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig config)
-    : cloud_(cloud), vms_(std::move(vms)), config_(std::move(config)), greedy_(config_.rate_model) {
+    : cloud_(cloud), vms_(std::move(vms)), config_(std::move(config)),
+      greedy_(config_.rate_model), policy_(config_.forecast) {
   CHOREO_REQUIRE(vms_.size() >= 2);
 }
 
@@ -22,13 +23,38 @@ double Choreo::measure_network(std::uint64_t epoch) {
       cache_ = measure::ViewCache(vms_.size());
     }
     const std::size_t known_before = cache_.measured_pairs();
-    measure::RefreshResult refreshed = measure::refresh_cluster_view(
-        cloud_, vms_, config_.plan, epoch, cache_, config_.refresh);
+    // Plan through the forecast plane: with config.forecast disabled this is
+    // exactly the fixed policy's plan (same pairs, same order — the whole
+    // cycle is then bit-identical to pre-forecast behaviour); enabled, the
+    // probe budget goes to the pairs the best predictor is worst at.
+    cache_.resize(vms_.size());
+    measure::RefreshPlan probe_plan =
+        policy_.plan_refresh(cache_, epoch, config_.refresh);
+    measure::RefreshResult refreshed = measure::refresh_cluster_view_with_plan(
+        cloud_, vms_, config_.plan, epoch, cache_, std::move(probe_plan));
+    if (config_.forecast.enabled) {
+      // Score the predictors against every fresh probe result (the cache
+      // holds this cycle's estimates), then rewrite unprobed pairs with
+      // forecasts and apply the uncertainty discount.
+      for (const measure::ProbePair& p : refreshed.plan.pairs) {
+        policy_.observe(p.src, p.dst, cache_.at(p.src, p.dst).rate_bps, epoch);
+      }
+      policy_.apply_to_view(refreshed.view, cache_, refreshed.plan, epoch);
+    }
     view = std::move(refreshed.view);
     last_measure_.wall_time_s = refreshed.wall_time_s;
     last_measure_.pairs_probed = refreshed.pairs_probed;
     last_measure_.rounds = refreshed.rounds;
     last_measure_.incremental = known_before > 0;
+    last_measure_.never_measured = refreshed.plan.never_measured;
+    last_measure_.stale = refreshed.plan.stale;
+    last_measure_.volatile_pairs = refreshed.plan.volatile_pairs;
+    const forecast::PredictivePolicy::PlanStats& fs = policy_.last_plan();
+    last_measure_.predictable_pairs = fs.predictable;
+    last_measure_.unpredictable_pairs = fs.unpredictable + fs.warmup;
+    last_measure_.changepoint_pairs = fs.changepoints;
+    last_measure_.predicted_pairs = fs.predicted;
+    last_measure_.forecast_full_sweep = fs.full_sweep;
   } else {
     view = measure::true_cluster_view(cloud_, vms_, epoch);
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cloud/cloud.h"
+#include "forecast/predictive_policy.h"
 #include "measure/throughput_matrix.h"
 #include "place/cluster.h"
 #include "place/greedy.h"
@@ -25,6 +26,12 @@ struct ChoreoConfig {
   /// re-probes the pairs the refresh policy flags; when false every cycle
   /// re-measures the entire matrix from scratch.
   bool incremental_refresh = true;
+  /// Forecast plane (§2.1 predictability, applied online): per-pair rate
+  /// history, competing predictors with online error tracking, and
+  /// predictability-score-driven refresh planning in place of the fixed
+  /// stale/volatile rules. Disabled by default — the disabled pipeline is
+  /// bit-identical to the fixed policy (pinned by test_forecast_differential).
+  forecast::ForecastOptions forecast;
   /// Rate model for the greedy placement (hose matches what §4.3 found on
   /// EC2 and Rackspace).
   place::RateModel rate_model = place::RateModel::Hose;
@@ -75,6 +82,20 @@ class Choreo {
     std::size_t rounds = 0;        ///< conflict-free concurrent-train rounds
     /// True when this cycle re-used cached estimates (probed a strict subset).
     bool incremental = false;
+
+    // Why each probed pair qualified (the RefreshPlan counts).
+    std::size_t never_measured = 0;  ///< includes pairs of newly allocated VMs
+    std::size_t stale = 0;           ///< older than refresh.max_age_epochs
+    std::size_t volatile_pairs = 0;  ///< fixed policy's two-sample volatility rule
+
+    // Forecast-plane accounting (all zero while config.forecast is disabled).
+    std::size_t predictable_pairs = 0;    ///< skipped: forecasts trusted this cycle
+    /// Probed because the forecast cannot be trusted: the budget's
+    /// worst-predicted picks plus pairs still warming up their error track.
+    std::size_t unpredictable_pairs = 0;
+    std::size_t changepoint_pairs = 0;    ///< probed: CUSUM flagged a regime shift
+    std::size_t predicted_pairs = 0;      ///< view entries filled from forecasts
+    bool forecast_full_sweep = false;     ///< regime alarm forced probing everything
   };
 
   /// Runs the measurement phase (§4.1): packet trains scheduled into
@@ -173,6 +194,10 @@ class Choreo {
   /// Epoch-stamped pair estimates carried across measurement cycles — what
   /// makes measure_network() incremental after the first sweep.
   measure::ViewCache cache_;
+  /// The forecast plane: refresh planning (predictive or, when disabled,
+  /// delegating verbatim to config.refresh), per-pair history, and the
+  /// prediction/discount view rewrite.
+  forecast::PredictivePolicy policy_;
   MeasureReport last_measure_;
 };
 

@@ -88,9 +88,18 @@ std::uint64_t SessionRuntime::next_epoch() {
 
 void SessionRuntime::measure() {
   choreo_->measure_network(next_epoch());
-  log_.measurement_wall_s += choreo_->last_measure().wall_time_s;
-  log_.pairs_probed += choreo_->last_measure().pairs_probed;
+  accumulate_measure(choreo_->last_measure());
   ++stats_.measure_cycles;
+}
+
+void SessionRuntime::accumulate_measure(const Choreo::MeasureReport& report) {
+  log_.measurement_wall_s += report.wall_time_s;
+  log_.pairs_probed += report.pairs_probed;
+  log_.pairs_volatile += report.volatile_pairs;
+  log_.pairs_predictable += report.predictable_pairs;
+  log_.pairs_unpredictable += report.unpredictable_pairs;
+  log_.pairs_changepoint += report.changepoint_pairs;
+  log_.pairs_predicted += report.predicted_pairs;
 }
 
 void SessionRuntime::push_event(Event ev) {
@@ -335,8 +344,7 @@ void SessionRuntime::handle_reeval() {
   ++log_.reevaluations;
   ++stats_.reevaluations;
   ++stats_.measure_cycles;
-  log_.measurement_wall_s += report.measurement.wall_time_s;
-  log_.pairs_probed += report.measurement.pairs_probed;
+  accumulate_measure(report.measurement);
   if (report.adopted) {
     ++log_.reevaluations_adopted;
     log_.tasks_migrated += report.tasks_migrated;
@@ -504,6 +512,11 @@ MultiTenantLog MultiTenantSession::run() {
     agg.total_runtime_s += log.total_runtime_s;
     agg.measurement_wall_s += log.measurement_wall_s;
     agg.pairs_probed += log.pairs_probed;
+    agg.pairs_volatile += log.pairs_volatile;
+    agg.pairs_predictable += log.pairs_predictable;
+    agg.pairs_unpredictable += log.pairs_unpredictable;
+    agg.pairs_changepoint += log.pairs_changepoint;
+    agg.pairs_predicted += log.pairs_predicted;
   }
   std::vector<std::size_t> cursor(out.tenants.size(), 0);
   while (true) {

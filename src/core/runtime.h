@@ -166,6 +166,9 @@ class SessionRuntime {
   AppOutcome& outcome_of(AppRecord& rec);
   std::uint64_t next_epoch();
   void measure();
+  /// Folds one measurement cycle's report into the session accounting
+  /// (wall clock, probes, per-pair refresh/forecast counters).
+  void accumulate_measure(const Choreo::MeasureReport& report);
   void push_event(Event ev);
   void emit(const SessionEvent& ev);
   void retire(AppRecord& rec);

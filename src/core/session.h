@@ -83,6 +83,17 @@ struct SessionLog {
   /// re-evaluations). Incremental refresh shrinks both.
   double measurement_wall_s = 0.0;
   std::size_t pairs_probed = 0;
+  /// Per-pair refresh accounting summed over every measurement cycle: why
+  /// probes were spent (fixed policy's volatility rule; the forecast
+  /// plane's unpredictable/change-point picks) and what they were saved on
+  /// (pairs coasting on forecasts, view entries filled from predictions).
+  /// The forecast counters stay zero while ChoreoConfig::forecast is
+  /// disabled.
+  std::size_t pairs_volatile = 0;
+  std::size_t pairs_predictable = 0;
+  std::size_t pairs_unpredictable = 0;
+  std::size_t pairs_changepoint = 0;
+  std::size_t pairs_predicted = 0;
 
   /// Reconstructs the historical detail text of an event: the application's
   /// name for app events, "migrated N tasks" / "kept placements" for

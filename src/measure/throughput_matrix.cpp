@@ -107,9 +107,21 @@ RefreshResult refresh_cluster_view(cloud::Cloud& cloud,
   const std::size_t n = vms.size();
   CHOREO_REQUIRE(n >= 2);
   cache.resize(n);
+  return refresh_cluster_view_with_plan(cloud, vms, plan, epoch, cache,
+                                        cache.plan_refresh(epoch, policy));
+}
+
+RefreshResult refresh_cluster_view_with_plan(cloud::Cloud& cloud,
+                                             const std::vector<cloud::VmId>& vms,
+                                             const MeasurementPlan& plan,
+                                             std::uint64_t epoch, ViewCache& cache,
+                                             RefreshPlan probe_plan) {
+  const std::size_t n = vms.size();
+  CHOREO_REQUIRE(n >= 2);
+  CHOREO_REQUIRE(cache.vm_count() == n);
 
   RefreshResult out;
-  out.plan = cache.plan_refresh(epoch, policy);
+  out.plan = std::move(probe_plan);
   if (!out.plan.pairs.empty()) {
     const PairsResult probed = measure_rate_pairs(cloud, vms, out.plan.pairs, plan, epoch);
     for (std::size_t k = 0; k < out.plan.pairs.size(); ++k) {

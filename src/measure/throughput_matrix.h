@@ -88,6 +88,18 @@ RefreshResult refresh_cluster_view(cloud::Cloud& cloud,
                                    const MeasurementPlan& plan, std::uint64_t epoch,
                                    ViewCache& cache, const RefreshPolicy& policy);
 
+/// The same refresh cycle with a caller-supplied probe plan — the primitive
+/// behind refresh_cluster_view (which plans via the cache's fixed policy)
+/// and the forecast plane's PredictivePolicy (which plans by predictability
+/// score). Probes exactly `probe_plan.pairs`, stores the estimates into
+/// `cache` at `epoch`, and rebuilds the ClusterView from the cache.
+/// Requires cache.vm_count() == vms.size().
+RefreshResult refresh_cluster_view_with_plan(cloud::Cloud& cloud,
+                                             const std::vector<cloud::VmId>& vms,
+                                             const MeasurementPlan& plan,
+                                             std::uint64_t epoch, ViewCache& cache,
+                                             RefreshPlan probe_plan);
+
 /// Builds the tenant's ClusterView from measurements alone: packet-train
 /// rates, traceroute co-location groups (hop count 1 => same host), CPU
 /// capacities from the instance type. This is exactly the information

@@ -60,6 +60,18 @@ void ClusterView::validate() const {
   }
 }
 
+void apply_rate_discount(ClusterView& view, const DoubleMatrix& factor) {
+  const std::size_t n = view.machine_count();
+  CHOREO_REQUIRE(factor.rows() == n && factor.cols() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      CHOREO_REQUIRE_MSG(factor(i, j) >= 0.0, "rate discount must be non-negative");
+      view.rate_bps(i, j) *= factor(i, j);
+    }
+  }
+}
+
 ClusterState::ClusterState(ClusterView view)
     : engine_(std::make_unique<PlacementEngine>(std::move(view))) {}
 
@@ -98,6 +110,10 @@ void ClusterState::release(const Application& app, const Placement& placement) {
 }
 
 void ClusterState::update_view(ClusterView view) { engine_->update_view(std::move(view)); }
+
+void ClusterState::apply_rate_discount(const DoubleMatrix& factor) {
+  engine_->apply_rate_discount(factor);
+}
 
 ClusterState ClusterState::clone_unoccupied() const {
   return ClusterState(std::make_unique<PlacementEngine>(engine_->clone_unoccupied()));

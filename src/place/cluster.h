@@ -93,6 +93,16 @@ struct ClusterView {
   void validate() const;
 };
 
+/// Scales `view.rate_bps` entry-wise by `factor` (machine_count x
+/// machine_count; diagonal ignored) — the forecast plane's uncertainty-aware
+/// placement hook. forecast::PredictivePolicy derives the factors from a
+/// quantile of each pair's recent prediction error, so placers plan against
+/// pessimistic rates on pairs the forecast keeps getting wrong instead of
+/// trusting point estimates. Applying the discount to the view (rather than
+/// inside one placer) keeps every rate consumer — engine lookups, the
+/// exhaustive oracle, estimate_completion_s — consistent.
+void apply_rate_discount(ClusterView& view, const DoubleMatrix& factor);
+
 /// Invokes fn(src_machine, dst_machine, bytes) for every traffic-matrix
 /// entry of `app` that actually crosses machines under `placement` — the one
 /// definition of "a placed transfer" shared by the residual bookkeeping
@@ -151,6 +161,10 @@ class ClusterState {
   /// §2.4 measurement refresh O(n^2) index rebuild instead of a full replay
   /// of every running application.
   void update_view(ClusterView view);
+
+  /// Discounts the current view's pair rates in place (see the free
+  /// function above); residual occupancy is kept, rate indexes rebuilt.
+  void apply_rate_discount(const DoubleMatrix& factor);
 
   /// A state with the same view and cached indexes but zero occupancy —
   /// cheap scratch for hypothetical re-placement (§2.4); skips re-validating

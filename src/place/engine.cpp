@@ -136,6 +136,22 @@ void PlacementEngine::update_view(ClusterView view) {
   }
 }
 
+void PlacementEngine::apply_rate_discount(const DoubleMatrix& factor) {
+  CHOREO_ASSERT_MSG(txn_log_.empty(), "apply_rate_discount inside an open Txn");
+  const std::size_t M = machine_count();
+  CHOREO_REQUIRE(factor.rows() == M && factor.cols() == M);
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t n = 0; n < M; ++n) {
+      if (m == n) continue;
+      CHOREO_REQUIRE_MSG(factor(m, n) >= 0.0, "rate discount must be non-negative");
+      view_.rate_bps(m, n) *= factor(m, n);
+    }
+  }
+  // Colocation, cores, and residual occupancy are untouched; only the
+  // rate-derived static indexes need rebuilding.
+  rebuild_static();
+}
+
 PlacementEngine PlacementEngine::clone_unoccupied() const {
   CHOREO_ASSERT_MSG(txn_log_.empty(), "clone_unoccupied inside an open Txn");
   PlacementEngine clone(*this);

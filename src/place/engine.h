@@ -115,6 +115,15 @@ class PlacementEngine {
   /// changed colocation clustering needs no replay of running applications.
   void update_view(ClusterView view);
 
+  /// Uncertainty-aware placement hook (the forecast plane): scales the
+  /// view's pair rates entry-wise by `factor` (n x n; diagonal ignored) and
+  /// rebuilds the static indexes, keeping the residual occupancy. Because
+  /// the discount lands in the view itself, every rate consumer — the
+  /// engine's cached lookups, the exhaustive oracle, and the
+  /// completion-time objective — sees the same discounted rates, so the
+  /// engine/oracle bit-identity is preserved under any discount.
+  void apply_rate_discount(const DoubleMatrix& factor);
+
   /// Copy with identical view and static indexes but zero occupancy.
   PlacementEngine clone_unoccupied() const;
 

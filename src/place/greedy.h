@@ -20,6 +20,14 @@ namespace choreo::place {
 /// beat the best exact rate found. Results are bit-identical to the
 /// exhaustive scan (ExhaustiveGreedyPlacer below), pinned by
 /// test_engine_differential.
+///
+/// Under the forecast plane the view's rates may already carry an
+/// uncertainty discount (place::apply_rate_discount /
+/// PlacementEngine::apply_rate_discount): pairs whose recent prediction
+/// error is high are derated by a configurable error quantile, so this
+/// search ranks candidates by pessimistic rather than point-estimate rates.
+/// The discount lives in the view, so the engine walk and the exhaustive
+/// oracle stay bit-identical under any discount.
 class GreedyPlacer : public Placer {
  public:
   explicit GreedyPlacer(RateModel model = RateModel::Hose) : model_(model) {}

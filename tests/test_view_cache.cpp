@@ -103,6 +103,54 @@ TEST(ViewCache, ExportsRatesAndEpochs) {
   EXPECT_EQ(cache.measured_pairs(), 1u);
 }
 
+TEST(ViewCache, SingleSamplePairsAreNeverVolatileEvenAtZeroThreshold) {
+  // A pair with one measurement has no second sample to disagree with: it
+  // must not qualify as volatile no matter how strict the threshold, and a
+  // plan must not re-probe it on volatility grounds.
+  ViewCache cache(3);
+  RefreshPolicy policy;
+  policy.max_age_epochs = 100;
+  policy.volatility_threshold = 0.0;  // strictest possible
+  for (const ProbePair& p : all_ordered_pairs(3)) {
+    cache.store(p.src, p.dst, mbps(100 * (p.src + 1)), 5);
+    EXPECT_FALSE(cache.is_volatile(p.src, p.dst, 0.0));
+  }
+  const RefreshPlan plan = cache.plan_refresh(5, policy);
+  EXPECT_TRUE(plan.pairs.empty());
+  EXPECT_EQ(plan.volatile_pairs, 0u);
+}
+
+TEST(ViewCache, AgeExactlyMaxAgeEpochsIsNotStale) {
+  // Staleness is strict: a pair measured at epoch e goes stale only once
+  // e + max_age_epochs < current, so age == max_age_epochs is still fresh.
+  ViewCache cache(2);
+  RefreshPolicy policy;
+  policy.max_age_epochs = 5;
+  cache.store(0, 1, mbps(500), 10);
+  cache.store(1, 0, mbps(500), 10);
+
+  EXPECT_TRUE(cache.plan_refresh(15, policy).pairs.empty());  // age == max_age
+  const RefreshPlan stale = cache.plan_refresh(16, policy);   // one past it
+  ASSERT_EQ(stale.pairs.size(), 2u);
+  EXPECT_EQ(stale.stale, 2u);
+}
+
+TEST(ViewCache, PlanRefreshOnAllFreshCacheIsEmpty) {
+  // Every pair measured twice at steady rates within max_age: the default
+  // policy (volatility probing on) must produce a completely empty plan
+  // with every classification count zero.
+  ViewCache cache(4);
+  for (const ProbePair& p : all_ordered_pairs(4)) {
+    cache.store(p.src, p.dst, mbps(750), 1);
+    cache.store(p.src, p.dst, mbps(750), 2);
+  }
+  const RefreshPlan plan = cache.plan_refresh(3, RefreshPolicy{});
+  EXPECT_TRUE(plan.pairs.empty());
+  EXPECT_EQ(plan.never_measured, 0u);
+  EXPECT_EQ(plan.stale, 0u);
+  EXPECT_EQ(plan.volatile_pairs, 0u);
+}
+
 TEST(ViewCache, InvalidateForcesReprobe) {
   ViewCache cache(2);
   cache.store(0, 1, mbps(100), 1);
