@@ -13,16 +13,25 @@
 //      tenant's placement state is its own; only the clock and the epoch
 //      counter are shared).
 //
-// `--smoke` runs the reduced CI sweep (still covering a full 7-day trace);
-// the exit code is non-zero on any [FAIL] line.
+//   3. Deterministic thread scaling — the same tenant sweep routed through
+//      the sharded control plane (core::ShardedSession) at --threads
+//      1/2/4/8 produces a merged log bit-identical to the single-threaded
+//      oracle at every thread count, while events/sec grows with threads
+//      (near-linear when the host has the cores; asserted only when it
+//      does).
+//
+// `--smoke` runs the reduced CI sweep (still covering a full 7-day trace
+// and a threads={1,2} determinism check); the exit code is non-zero on any
+// [FAIL] line.
 
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
-#include "core/runtime.h"
+#include "core/sharded.h"
 #include "workload/stream.h"
 
 namespace {
@@ -83,11 +92,13 @@ struct TenantRun {
   double wall_ms = 0.0;
 };
 
-TenantRun run_tenant_sweep(std::size_t tenants, std::size_t fleet,
-                           double mean_gap_s, double duration_s,
-                           std::uint64_t seed) {
-  cloud::Cloud cloud(cloud::ec2_2013(), seed);
-  std::vector<std::unique_ptr<workload::GeneratorArrivalStream>> streams;
+/// Tenant specs for a sweep: identical for every run with the same
+/// arguments, so the oracle and every sharded configuration replay the
+/// exact same workload on the exact same cloud.
+std::vector<core::TenantSpec> make_tenants(
+    cloud::Cloud& cloud, std::size_t tenants, std::size_t fleet,
+    double mean_gap_s, double duration_s, std::uint64_t seed,
+    std::vector<std::unique_ptr<workload::GeneratorArrivalStream>>& streams) {
   std::vector<core::TenantSpec> specs;
   for (std::size_t i = 0; i < tenants; ++i) {
     workload::GeneratorArrivalStream::Config cfg;
@@ -105,6 +116,16 @@ TenantRun run_tenant_sweep(std::size_t tenants, std::size_t fleet,
     spec.stream = streams.back().get();
     specs.push_back(std::move(spec));
   }
+  return specs;
+}
+
+TenantRun run_tenant_sweep(std::size_t tenants, std::size_t fleet,
+                           double mean_gap_s, double duration_s,
+                           std::uint64_t seed) {
+  cloud::Cloud cloud(cloud::ec2_2013(), seed);
+  std::vector<std::unique_ptr<workload::GeneratorArrivalStream>> streams;
+  std::vector<core::TenantSpec> specs =
+      make_tenants(cloud, tenants, fleet, mean_gap_s, duration_s, seed, streams);
   core::MultiTenantOptions options;
   options.record_events = false;
   options.record_outcomes = false;
@@ -123,6 +144,83 @@ TenantRun run_tenant_sweep(std::size_t tenants, std::size_t fleet,
   bench::check(result.aggregate.total_runtime_s > 0.0,
                "multi-tenant aggregate accounting is populated");
   return out;
+}
+
+// ---- sharded thread scaling -------------------------------------------------
+
+struct ThreadRun {
+  core::MultiTenantLog log;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// One full tenant sweep with recording on (the merged logs are what the
+/// determinism check compares). threads == 0 runs the single-threaded
+/// MultiTenantSession oracle; anything else the sharded control plane.
+ThreadRun run_thread_sweep(std::size_t tenants, std::size_t fleet,
+                           double mean_gap_s, double duration_s,
+                           std::uint64_t seed, unsigned threads) {
+  cloud::Cloud cloud(cloud::ec2_2013(), seed);
+  std::vector<std::unique_ptr<workload::GeneratorArrivalStream>> streams;
+  std::vector<core::TenantSpec> specs =
+      make_tenants(cloud, tenants, fleet, mean_gap_s, duration_s, seed, streams);
+
+  ThreadRun out;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads == 0) {
+    core::MultiTenantSession session(cloud, std::move(specs));
+    out.log = session.run();
+    for (const auto& s : session.tenant_stats()) out.events += s.events_processed;
+  } else {
+    core::ShardedOptions options;
+    options.threads = threads;  // shards default to one per thread
+    core::ShardedSession session(cloud, std::move(specs), options);
+    out.log = session.run();
+    for (const auto& s : session.tenant_stats()) out.events += s.events_processed;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+/// Full merged-log equality: events, outcomes, placements, accounting
+/// doubles — bitwise, no tolerance. This is the bench-side restatement of
+/// test_sharded_differential's pin.
+bool logs_equal(const core::MultiTenantLog& a, const core::MultiTenantLog& b) {
+  const auto session_equal = [](const core::SessionLog& x, const core::SessionLog& y) {
+    if (x.events.size() != y.events.size() || x.apps.size() != y.apps.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < x.events.size(); ++i) {
+      const core::SessionEvent& e = x.events[i];
+      const core::SessionEvent& f = y.events[i];
+      if (e.time_s != f.time_s || e.kind != f.kind || e.app != f.app ||
+          e.tenant != f.tenant || e.tasks_migrated != f.tasks_migrated ||
+          e.adopted != f.adopted) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < x.apps.size(); ++i) {
+      const core::AppOutcome& p = x.apps[i];
+      const core::AppOutcome& q = y.apps[i];
+      if (p.name != q.name || p.arrival_s != q.arrival_s ||
+          p.placed_s != q.placed_s || p.finished_s != q.finished_s ||
+          p.rejected != q.rejected ||
+          p.placement.machine_of_task != q.placement.machine_of_task) {
+        return false;
+      }
+    }
+    return x.reevaluations == y.reevaluations &&
+           x.tasks_migrated == y.tasks_migrated && x.rejected == y.rejected &&
+           x.total_runtime_s == y.total_runtime_s &&
+           x.measurement_wall_s == y.measurement_wall_s &&
+           x.pairs_probed == y.pairs_probed;
+  };
+  if (a.tenants.size() != b.tenants.size()) return false;
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    if (!session_equal(a.tenants[i], b.tenants[i])) return false;
+  }
+  return session_equal(a.aggregate, b.aggregate);
 }
 
 }  // namespace
@@ -196,6 +294,58 @@ int main(int argc, char** argv) {
   check(per_event_max <= per_event_1 * 3.0,
         "per-event cost stays near-flat as tenants are added "
         "(near-linear event-throughput growth)");
+
+  // ---- sharded control plane: --threads sweep -----------------------------
+  // The oracle (MultiTenantSession) runs once; every sharded configuration
+  // must reproduce its merged log bit-identically while events/sec scales
+  // with threads. The speedup assertion only fires on hosts with the cores
+  // to show it — determinism is asserted everywhere, unconditionally.
+  const std::size_t shard_tenants = smoke ? 8 : 100;
+  const std::size_t shard_fleet = smoke ? 4 : 6;
+  const double shard_duration_s = smoke ? 1200.0 : 1800.0;
+  const std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  header("Sharded control plane: --threads sweep @ " +
+         std::to_string(shard_tenants) + " tenants" +
+         std::string(smoke ? " [smoke]" : ""));
+
+  const ThreadRun oracle =
+      run_thread_sweep(shard_tenants, shard_fleet, 30.0, shard_duration_s, 7, 0);
+  Table sh({"threads", "events", "wall (ms)", "events/sec", "speedup", "identical"});
+  const double oracle_eps =
+      oracle.wall_ms > 0.0
+          ? static_cast<double>(oracle.events) * 1000.0 / oracle.wall_ms
+          : 0.0;
+  sh.add_row({"oracle", std::to_string(oracle.events), fmt(oracle.wall_ms, 1),
+              fmt(oracle_eps, 0), "1.00", "-"});
+  double wall_threads_1 = 0.0, wall_threads_max = 0.0;
+  for (unsigned threads : thread_counts) {
+    const ThreadRun r = run_thread_sweep(shard_tenants, shard_fleet, 30.0,
+                                         shard_duration_s, 7, threads);
+    const bool identical = logs_equal(oracle.log, r.log);
+    check(identical, "threads=" + std::to_string(threads) +
+                         " merged log is bit-identical to the oracle");
+    check(r.events == oracle.events,
+          "threads=" + std::to_string(threads) + " processed the same events");
+    const double eps =
+        r.wall_ms > 0.0 ? static_cast<double>(r.events) * 1000.0 / r.wall_ms : 0.0;
+    const double speedup = r.wall_ms > 0.0 ? oracle.wall_ms / r.wall_ms : 0.0;
+    sh.add_row({std::to_string(threads), std::to_string(r.events),
+                fmt(r.wall_ms, 1), fmt(eps, 0), fmt(speedup, 2),
+                identical ? "yes" : "NO"});
+    if (threads == 1) wall_threads_1 = r.wall_ms;
+    if (threads == thread_counts.back()) wall_threads_max = r.wall_ms;
+  }
+  std::cout << sh.to_string();
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (!smoke && cores >= 8 && wall_threads_max > 0.0) {
+    check(wall_threads_1 / wall_threads_max >= 3.0,
+          "threads=8 is >= 3x faster than threads=1 at 100 tenants");
+  } else {
+    std::cout << "[skip] speedup assertion (cores=" << cores
+              << (smoke ? ", smoke mode" : "") << ")\n";
+  }
 
   return finish();
 }

@@ -6,6 +6,7 @@
 //   choreo_sim --provider ec2 --vms 10 --apps 2 --algorithm greedy --seed 7
 //   choreo_sim --mode sequence --apps 4 --algorithm round-robin
 //   choreo_sim --mode session --tenants 3 --vms 8 --duration-hours 12 --bursty
+//   choreo_sim --mode session --tenants 8 --threads 4   # sharded, same output
 //   choreo_sim --help
 //
 // --mode session drives the discrete-event core::SessionRuntime: N tenants
@@ -17,7 +18,7 @@
 #include <memory>
 
 #include "core/controller.h"
-#include "core/runtime.h"
+#include "core/sharded.h"
 #include "measure/throughput_matrix.h"
 #include "place/baselines.h"
 #include "place/greedy.h"
@@ -69,6 +70,13 @@ int main(int argc, char** argv) {
   args.add_option("tenants", "2", "session mode: tenants sharing the cloud");
   args.add_option("duration-hours", "6", "session mode: trace length per tenant");
   args.add_option("apps-per-day", "48", "session mode: per-tenant arrival rate");
+  args.add_option("threads", "1",
+                  "session mode: worker threads for the sharded control "
+                  "plane (1 = single-threaded oracle path; output is "
+                  "identical either way)");
+  args.add_option("shards", "0",
+                  "session mode: tenant shards (0 = one per thread); only "
+                  "meaningful with --threads > 1");
   args.add_flag("bursty", "session mode: MMPP-modulate the arrival process");
   args.add_flag("forecast",
                 "enable the forecast plane: predictability-driven refresh + "
@@ -218,8 +226,27 @@ int main(int argc, char** argv) {
       tenants.push_back(std::move(spec));
     }
 
-    core::MultiTenantSession session(cloud, std::move(tenants));
-    const core::MultiTenantLog result = session.run();
+    // --threads 1 (the default) keeps the single-threaded oracle path;
+    // anything higher routes through the sharded control plane, whose
+    // output is bit-identical for any shard/thread count.
+    const auto n_threads = static_cast<unsigned>(args.get_int("threads"));
+    core::MultiTenantLog result;
+    std::vector<core::SessionRuntime::Stats> tenant_stats;
+    if (n_threads <= 1) {
+      core::MultiTenantSession session(cloud, std::move(tenants));
+      result = session.run();
+      tenant_stats = session.tenant_stats();
+    } else {
+      core::ShardedOptions sharded;
+      sharded.threads = n_threads;
+      sharded.shards = static_cast<std::size_t>(args.get_int("shards"));
+      core::ShardedSession session(cloud, std::move(tenants), sharded);
+      result = session.run();
+      tenant_stats = session.tenant_stats();
+      std::cout << "sharded control plane: " << session.stats().shards
+                << " shards, " << session.stats().threads << " threads, "
+                << session.stats().epoch_grants << " epoch grants\n";
+    }
 
     Table t({"tenant", "apps", "rejected", "reevals (adopted)", "migrated",
              "runtime sum (s)", "measure wall (s)", "probes"});
@@ -243,7 +270,7 @@ int main(int argc, char** argv) {
 
     std::uint64_t events = 0;
     std::size_t peak_state = 0;
-    for (const core::SessionRuntime::Stats& s : session.tenant_stats()) {
+    for (const core::SessionRuntime::Stats& s : tenant_stats) {
       events += s.events_processed;
       peak_state += s.peak_queue + s.peak_in_flight + s.peak_waiting;
     }

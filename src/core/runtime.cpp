@@ -224,6 +224,18 @@ double SessionRuntime::next_time() {
   return queue_.top().time_s;
 }
 
+std::optional<SessionRuntime::PendingEvent> SessionRuntime::peek_event() {
+  CHOREO_REQUIRE_MSG(started_, "call start() first");
+  prune();
+  if (queue_.empty()) return std::nullopt;
+  return PendingEvent{queue_.top().time_s, queue_.top().kind};
+}
+
+double SessionRuntime::pending_arrival_time() const {
+  if (!pending_) return std::numeric_limits<double>::infinity();
+  return pending_->app.arrival_s;
+}
+
 void SessionRuntime::start(workload::ArrivalStream& stream) {
   CHOREO_REQUIRE_MSG(!started_, "start() may be called once");
   started_ = true;

@@ -118,8 +118,41 @@ class SessionRuntime {
   /// composition uses this to interleave runtimes on a shared clock.
   double next_time();
 
+  /// The next live event's time and kind (the event step() would process),
+  /// or nullopt when done. The sharded control plane uses the kind to tell
+  /// apart steps that will draw a measurement epoch (MeasureRefresh,
+  /// ReevalTick) — which must be sequenced globally — from steps that touch
+  /// only tenant-local state.
+  struct PendingEvent {
+    double time_s = 0.0;
+    RuntimeEventKind kind = RuntimeEventKind::Arrival;
+  };
+  std::optional<PendingEvent> peek_event();
+
   /// Processes exactly one live event.
   void step();
+
+  // ---- epoch-draw lookahead (conservative parallel composition) -----------
+  // Epoch draws are the only cross-tenant coupling in a multi-tenant
+  // session; these accessors let core::ShardedSession bound when this
+  // runtime's *next* draw can happen without executing anything. All bounds
+  // are conservative (the true next draw is never earlier) and monotone
+  // non-decreasing as the session advances.
+
+  /// Arrival time of the pulled-but-unprocessed look-ahead application, or
+  /// +infinity when the stream is exhausted. Every future MeasureRefresh
+  /// draw happens at or after this instant.
+  double pending_arrival_time() const;
+
+  /// Earliest instant a future re-evaluation can fire (and draw an epoch):
+  /// ticks are always scheduled at max(next_reeval deadline, now), and the
+  /// deadline only moves forward.
+  double next_reeval_time() const { return next_reeval_; }
+
+  /// True when nothing is running or queued — re-evaluations cannot fire
+  /// before the next arrival is placed, so the next epoch draw is exactly
+  /// the pending arrival's measurement refresh.
+  bool fleet_idle() const { return in_flight_.empty() && waiting_.empty(); }
 
   /// Final accounting; returns the session log (moved out). Call once,
   /// after done().

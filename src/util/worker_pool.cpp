@@ -1,0 +1,38 @@
+#include "util/worker_pool.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/require.h"
+
+namespace choreo::util {
+
+void run_workers(unsigned workers, const std::function<void(unsigned)>& body) {
+  CHOREO_REQUIRE(workers >= 1);
+  if (workers == 1) {
+    body(0);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto guarded = [&](unsigned index) {
+    try {
+      body(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) threads.emplace_back(guarded, w);
+  guarded(0);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace choreo::util

@@ -1,0 +1,291 @@
+// Edge cases of the sharded control plane: degenerate tenant/shard/thread
+// shapes (single tenant, K == 1, K > tenant count, more threads than work),
+// a tenant whose stream never produces an arrival, tenants that all hit the
+// same epoch-boundary instant, and the EpochArbiter's grant protocol probed
+// directly (order, bound gating, cascades, completion).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded.h"
+#include "util/units.h"
+#include "workload/stream.h"
+
+namespace choreo::core {
+namespace {
+
+using units::gigabytes;
+
+// ---- EpochArbiter protocol --------------------------------------------------
+
+std::function<std::uint64_t()> counter_draw(std::uint64_t& next) {
+  return [&next] { return next++; };
+}
+
+TEST(EpochArbiter, GrantsFollowTimeThenTenantOrder) {
+  std::uint64_t next = 1;
+  EpochArbiter arb(2, counter_draw(next));
+  // Tenant 1 asks first but tenant 0's bound (-inf) still allows an earlier
+  // draw: the request parks.
+  EXPECT_FALSE(arb.request(1, 5.0, 10.0).has_value());
+  EXPECT_FALSE(arb.poll(1).has_value());
+  // Tenant 0 advances past 5.0: tenant 1's draw is now provably next.
+  arb.set_bound(0, 6.0);
+  const auto epoch = arb.poll(1);
+  ASSERT_TRUE(epoch.has_value());
+  EXPECT_EQ(*epoch, 1u);
+  // Tenant 0 requests at its bound; tenant 1 now runs with bound 10.0.
+  const auto second = arb.request(0, 6.0, 20.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2u);
+  EXPECT_EQ(arb.grants(), 2u);
+}
+
+TEST(EpochArbiter, EqualTimesBreakTiesByTenantIndex) {
+  std::uint64_t next = 1;
+  EpochArbiter arb(3, counter_draw(next));
+  arb.set_bound(2, 100.0);  // tenant 2 is far in the future
+  // Tenant 1 registers at t=7 first, then tenant 0 at the same instant:
+  // tenant 0 must draw first (the oracle advances the lowest index).
+  EXPECT_FALSE(arb.request(1, 7.0, 9.0).has_value());
+  const auto first = arb.request(0, 7.0, 8.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1u);
+  // Granting tenant 0 re-publishes its post-bound (8.0 > 7.0), which
+  // cascades the grant to tenant 1 in the same pass.
+  const auto second = arb.poll(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2u);
+}
+
+TEST(EpochArbiter, DoneTenantsStopGatingGrants) {
+  std::uint64_t next = 1;
+  EpochArbiter arb(2, counter_draw(next));
+  EXPECT_FALSE(arb.request(1, 3.0, 4.0).has_value());
+  EXPECT_FALSE(arb.all_done());
+  arb.mark_done(0);  // tenant 0 will never draw: tenant 1 unblocks
+  const auto epoch = arb.poll(1);
+  ASSERT_TRUE(epoch.has_value());
+  EXPECT_EQ(*epoch, 1u);
+  arb.mark_done(1);
+  EXPECT_TRUE(arb.all_done());
+}
+
+TEST(EpochArbiter, VersionBumpsOnGrantAndCompletion) {
+  std::uint64_t next = 1;
+  EpochArbiter arb(2, counter_draw(next));
+  const std::uint64_t v0 = arb.version();
+  EXPECT_FALSE(arb.request(1, 2.0, 3.0).has_value());
+  arb.set_bound(0, 5.0);  // fires the grant
+  EXPECT_NE(arb.version(), v0);
+  EXPECT_EQ(arb.wait_change(v0), arb.version());  // returns without blocking
+}
+
+// ---- degenerate session shapes ---------------------------------------------
+
+ControllerConfig fast_config(double period_s = 60.0) {
+  ControllerConfig config;
+  config.choreo.use_measured_view = false;
+  config.choreo.reevaluate_period_s = period_s;
+  return config;
+}
+
+place::Application chat_app(const std::string& name, double arrival_s) {
+  place::Application app;
+  app.name = name;
+  app.arrival_s = arrival_s;
+  app.cpu_demand = {0.5, 0.5};
+  app.traffic_bytes = DoubleMatrix(2, 2, 0.0);
+  app.traffic_bytes(0, 1) = 1e3;
+  return app;
+}
+
+place::Application bulk_app(const std::string& name, double arrival_s) {
+  place::Application app;
+  app.name = name;
+  app.arrival_s = arrival_s;
+  app.cpu_demand = {1.0, 1.0, 1.0};
+  app.traffic_bytes = DoubleMatrix(3, 3, 0.0);
+  app.traffic_bytes(0, 1) = gigabytes(4.0);
+  app.traffic_bytes(1, 2) = gigabytes(2.0);
+  return app;
+}
+
+void expect_multi_equal(const MultiTenantLog& ref, const MultiTenantLog& got,
+                        const std::string& label) {
+  ASSERT_EQ(ref.tenants.size(), got.tenants.size()) << label;
+  for (std::size_t t = 0; t < ref.tenants.size(); ++t) {
+    const SessionLog& a = ref.tenants[t];
+    const SessionLog& b = got.tenants[t];
+    const std::string tag = label + " tenant " + std::to_string(t);
+    ASSERT_EQ(a.events.size(), b.events.size()) << tag;
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+      ASSERT_EQ(a.events[i].time_s, b.events[i].time_s) << tag << " event " << i;
+      ASSERT_EQ(a.events[i].kind, b.events[i].kind) << tag << " event " << i;
+      ASSERT_EQ(a.events[i].app, b.events[i].app) << tag << " event " << i;
+    }
+    ASSERT_EQ(a.apps.size(), b.apps.size()) << tag;
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+      ASSERT_EQ(a.apps[i].placed_s, b.apps[i].placed_s) << tag << " app " << i;
+      ASSERT_EQ(a.apps[i].finished_s, b.apps[i].finished_s) << tag << " app " << i;
+      ASSERT_EQ(a.apps[i].placement.machine_of_task,
+                b.apps[i].placement.machine_of_task)
+          << tag << " app " << i;
+    }
+    EXPECT_EQ(a.total_runtime_s, b.total_runtime_s) << tag;
+    EXPECT_EQ(a.measurement_wall_s, b.measurement_wall_s) << tag;
+    EXPECT_EQ(a.reevaluations, b.reevaluations) << tag;
+    EXPECT_EQ(a.tasks_migrated, b.tasks_migrated) << tag;
+  }
+  ASSERT_EQ(ref.aggregate.events.size(), got.aggregate.events.size()) << label;
+  EXPECT_EQ(ref.aggregate.total_runtime_s, got.aggregate.total_runtime_s) << label;
+}
+
+/// Workload vectors per tenant, rebuilt identically for each run.
+using TenantApps = std::vector<std::vector<place::Application>>;
+
+MultiTenantLog run_oracle(std::uint64_t seed, const TenantApps& per_tenant,
+                          double period_s) {
+  cloud::Cloud cloud(cloud::ec2_2013(), seed);
+  std::vector<std::unique_ptr<workload::VectorArrivalStream>> streams;
+  std::vector<TenantSpec> tenants;
+  for (const auto& apps : per_tenant) {
+    TenantSpec t;
+    t.vms = cloud.allocate_vms(4);
+    t.config = fast_config(period_s);
+    streams.push_back(std::make_unique<workload::VectorArrivalStream>(apps));
+    t.stream = streams.back().get();
+    tenants.push_back(std::move(t));
+  }
+  MultiTenantSession session(cloud, std::move(tenants));
+  return session.run();
+}
+
+MultiTenantLog run_sharded(std::uint64_t seed, const TenantApps& per_tenant,
+                           double period_s, std::size_t shards, unsigned threads) {
+  cloud::Cloud cloud(cloud::ec2_2013(), seed);
+  std::vector<std::unique_ptr<workload::VectorArrivalStream>> streams;
+  std::vector<TenantSpec> tenants;
+  for (const auto& apps : per_tenant) {
+    TenantSpec t;
+    t.vms = cloud.allocate_vms(4);
+    t.config = fast_config(period_s);
+    streams.push_back(std::make_unique<workload::VectorArrivalStream>(apps));
+    t.stream = streams.back().get();
+    tenants.push_back(std::move(t));
+  }
+  ShardedOptions opts;
+  opts.shards = shards;
+  opts.threads = threads;
+  ShardedSession session(cloud, std::move(tenants), opts);
+  return session.run();
+}
+
+TenantApps busy_tenants(std::size_t count) {
+  TenantApps per_tenant;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<place::Application> apps;
+    apps.push_back(bulk_app("bulk" + std::to_string(i), 0.0));
+    apps.push_back(chat_app("chatA" + std::to_string(i), 30.0));
+    apps.push_back(chat_app("chatB" + std::to_string(i), 30.0));  // duplicate instant
+    apps.push_back(chat_app("chatC" + std::to_string(i), 90.0));
+    per_tenant.push_back(std::move(apps));
+  }
+  return per_tenant;
+}
+
+TEST(ShardedEdges, SingleTenantEveryShape) {
+  // One tenant: K == 1, K > tenant count, threads > work. Everything
+  // degenerates to the oracle schedule.
+  const TenantApps apps = busy_tenants(1);
+  const MultiTenantLog oracle = run_oracle(5, apps, 60.0);
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::size_t, unsigned>>{
+           {1, 1}, {1, 4}, {8, 2}, {8, 8}}) {
+    expect_multi_equal(oracle, run_sharded(5, apps, 60.0, shards, threads),
+                       "single shards=" + std::to_string(shards) +
+                           " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ShardedEdges, MoreShardsThanTenants) {
+  const TenantApps apps = busy_tenants(3);
+  const MultiTenantLog oracle = run_oracle(11, apps, 60.0);
+  expect_multi_equal(oracle, run_sharded(11, apps, 60.0, 8, 4), "K>n");
+  expect_multi_equal(oracle, run_sharded(11, apps, 60.0, 8, 8), "K>n wide");
+}
+
+TEST(ShardedEdges, SingleShardManyThreads) {
+  // K == 1 serializes all tenants onto one shard; extra threads can only
+  // idle-wait, never reorder.
+  const TenantApps apps = busy_tenants(4);
+  const MultiTenantLog oracle = run_oracle(13, apps, 60.0);
+  expect_multi_equal(oracle, run_sharded(13, apps, 60.0, 1, 1), "K=1 T=1");
+  expect_multi_equal(oracle, run_sharded(13, apps, 60.0, 1, 8), "K=1 T=8");
+}
+
+TEST(ShardedEdges, ShardsDefaultToThreadCount) {
+  const TenantApps apps = busy_tenants(4);
+  cloud::Cloud cloud(cloud::ec2_2013(), 17);
+  std::vector<std::unique_ptr<workload::VectorArrivalStream>> streams;
+  std::vector<TenantSpec> tenants;
+  for (const auto& a : apps) {
+    TenantSpec t;
+    t.vms = cloud.allocate_vms(4);
+    t.config = fast_config();
+    streams.push_back(std::make_unique<workload::VectorArrivalStream>(a));
+    t.stream = streams.back().get();
+    tenants.push_back(std::move(t));
+  }
+  ShardedOptions opts;
+  opts.shards = 0;  // one shard per thread
+  opts.threads = 3;
+  ShardedSession session(cloud, std::move(tenants), opts);
+  session.run();
+  EXPECT_EQ(session.stats().shards, 3u);
+  EXPECT_EQ(session.stats().threads, 3u);
+}
+
+TEST(ShardedEdges, TenantWithZeroArrivals) {
+  // A tenant whose stream is empty still runs its initial measurement sweep
+  // (drawing its pre-assigned epoch) and finishes immediately; it must not
+  // stall the arbiter or shift any other tenant's draws.
+  TenantApps apps = busy_tenants(3);
+  apps[1].clear();
+  const MultiTenantLog oracle = run_oracle(23, apps, 60.0);
+  EXPECT_TRUE(oracle.tenants[1].apps.empty());
+  EXPECT_TRUE(oracle.tenants[1].events.empty());
+  expect_multi_equal(oracle, run_sharded(23, apps, 60.0, 2, 2), "zero-arrival");
+  expect_multi_equal(oracle, run_sharded(23, apps, 60.0, 3, 8), "zero-arrival wide");
+}
+
+TEST(ShardedEdges, TenantsFinishingAtTheSameEpochBoundary) {
+  // Every tenant holds a long-running app across the first re-evaluation
+  // deadline and receives chat arrivals exactly at it: at t == period the
+  // whole fleet hits MeasureRefresh + ReevalTick draws at one instant, so
+  // the arbiter must deliver a long run of same-time grants in strict
+  // tenant order, and the final departures land on the boundary together.
+  TenantApps per_tenant;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<place::Application> apps;
+    apps.push_back(bulk_app("bulk" + std::to_string(i), 0.0));
+    apps.push_back(chat_app("edge" + std::to_string(i), 60.0));   // == period
+    apps.push_back(chat_app("edge2" + std::to_string(i), 60.0));  // duplicate
+    per_tenant.push_back(std::move(apps));
+  }
+  const MultiTenantLog oracle = run_oracle(29, per_tenant, 60.0);
+  std::size_t boundary_events = 0;
+  for (const SessionEvent& e : oracle.aggregate.events) {
+    if (e.time_s == 60.0) ++boundary_events;
+  }
+  EXPECT_GT(boundary_events, 8u);  // the instant is genuinely contended
+  expect_multi_equal(oracle, run_sharded(29, per_tenant, 60.0, 2, 4), "boundary");
+  expect_multi_equal(oracle, run_sharded(29, per_tenant, 60.0, 4, 2),
+                     "boundary transposed");
+}
+
+}  // namespace
+}  // namespace choreo::core
