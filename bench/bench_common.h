@@ -6,8 +6,11 @@
 // qualitative claim it reproduces, so `for b in build/bench/*; do $b; done`
 // doubles as a reproduction check.
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cloud/cloud.h"
@@ -55,6 +58,100 @@ inline int finish() {
   }
   std::cout << "\nall reproduction checks passed\n";
   return 0;
+}
+
+/// Machine-readable bench output: one JSON document per binary with the
+/// bench name, its configuration, and one object per metric row — so CI (or
+/// a plotting script) can track the reproduction metrics across commits
+/// without scraping the human-readable tables. Values are stored
+/// pre-serialized (numbers unquoted, strings escaped), which keeps this
+/// header dependency-free.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, quote(value));
+  }
+  void config(const std::string& key, double value) {
+    config_.emplace_back(key, number(value));
+  }
+
+  /// Starts a metric row; fill it with the row(...) setters that follow.
+  BenchJson& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& row(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, quote(value));
+    return *this;
+  }
+  BenchJson& row(const std::string& key, double value) {
+    rows_.back().emplace_back(key, number(value));
+    return *this;
+  }
+
+  std::string to_string() const {
+    std::ostringstream out;
+    out << "{\n  \"name\": " << quote(name_) << ",\n  \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      out << (i ? ", " : "") << quote(config_[i].first) << ": " << config_[i].second;
+    }
+    out << "},\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {";
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        out << (i ? ", " : "") << quote(rows_[r][i].first) << ": " << rows_[r][i].second;
+      }
+      out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+    return out.str();
+  }
+
+  /// Writes the document to `path` and prints where it went.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << to_string();
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += "\"";
+    return out;
+  }
+  static std::string number(double v) {
+    std::ostringstream out;
+    out.precision(15);
+    out << v;
+    return out.str();
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// Parses a `--json[=PATH]` argument: empty string when absent, PATH (or the
+/// default `BENCH_<name>.json`) when present.
+inline std::string json_path_from_args(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return "BENCH_" + name + ".json";
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
 }
 
 /// Prints a CDF the way the paper's figures are read: value at a grid of

@@ -17,6 +17,7 @@
 #include "packetsim/udp_train.h"
 #include "place/greedy.h"
 #include "place/ilp.h"
+#include "serve/service.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -106,6 +107,54 @@ void BM_EngineUpdateView(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineUpdateView)->Arg(50)->Arg(200)->Arg(500);
+
+// Serving-plane arena costs: what a §2.4 hypothetical re-placement pays for
+// a zero-occupancy scratch state...
+void BM_EngineCloneUnoccupied(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const place::ClusterView view = random_view(rng, machines);
+  place::ClusterState cluster(view);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.clone_unoccupied());
+  }
+}
+BENCHMARK(BM_EngineCloneUnoccupied)->Arg(100)->Arg(500);
+
+// ...and what a serving-plane Scratch refresh pays for a full copy with the
+// residual occupancy included (one per reader thread per published epoch).
+void BM_EngineClone(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const place::ClusterView view = random_view(rng, machines);
+  place::ClusterState cluster(view);
+  place::GreedyPlacer greedy(place::RateModel::Hose);
+  const place::Application app = random_app(rng, 10);
+  cluster.commit(app, greedy.place(app, cluster));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.clone());
+  }
+}
+BENCHMARK(BM_EngineClone)->Arg(100)->Arg(500);
+
+// The serving plane's writer path: clone the current snapshot's state, swap
+// the refreshed view in, publish the next epoch. Readers keep serving the
+// old snapshot throughout; this is the full measurement-cycle cost they
+// never wait on.
+void BM_SnapshotPublish(benchmark::State& state) {
+  Rng rng(42);
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const place::ClusterView view = random_view(rng, machines);
+  serve::PlacementService service(view, place::RateModel::Hose);
+  for (auto _ : state) {
+    state.PauseTiming();
+    place::ClusterView fresh = view;  // the O(n^2) copy the producer hands in
+    state.ResumeTiming();
+    service.publish_view(std::move(fresh));
+    benchmark::DoNotOptimize(service.epoch());
+  }
+}
+BENCHMARK(BM_SnapshotPublish)->Arg(100)->Arg(500);
 
 void BM_IlpPlacement(benchmark::State& state) {
   Rng rng(42);

@@ -111,6 +111,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  const std::string json_path = json_path_from_args(argc, argv, "tbl_placement_scale");
+  BenchJson json("tbl_placement_scale");
+  json.config("smoke", smoke ? "true" : "false");
 
   const std::vector<std::size_t> fleet_sizes =
       smoke ? std::vector<std::size_t>{10, 50, 120}
@@ -179,6 +182,10 @@ int main(int argc, char** argv) {
 
     t.add_row({fmt(static_cast<double>(n), 0), fmt(build_ms, 2), fmt(engine_ms, 3),
                exhaustive_col, speedup_col});
+    json.row()
+        .row("vms", static_cast<double>(n))
+        .row("index_build_ms", build_ms)
+        .row("engine_ms_per_app", engine_ms);
   }
   std::cout << t.to_string();
 
@@ -208,5 +215,6 @@ int main(int argc, char** argv) {
         "static index build is amortized (cheaper than a handful of exhaustive "
         "placements)");
 
+  if (!json_path.empty()) json.write(json_path);
   return finish();
 }

@@ -101,6 +101,17 @@ Choreo::AppHandle Choreo::place_application(const place::Application& app,
   return handle;
 }
 
+Choreo::AppHandle Choreo::adopt_placement(const place::Application& app,
+                                          const place::Placement& placement) {
+  CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  CHOREO_REQUIRE_MSG(placement.machine_of_task.size() == app.task_count(),
+                     "placement does not cover the application");
+  state_->commit(app, placement);
+  const AppHandle handle = next_handle_++;
+  running_.emplace(handle, RunningApp{app, placement});
+  return handle;
+}
+
 void Choreo::remove_application(AppHandle handle) {
   const auto it = running_.find(handle);
   CHOREO_REQUIRE_MSG(it != running_.end(), "unknown application handle");

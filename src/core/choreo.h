@@ -131,6 +131,14 @@ class Choreo {
   /// baselines). Same commit semantics and failure behaviour as above.
   AppHandle place_application(const place::Application& app, place::Placer& placer);
 
+  /// Commits a placement computed elsewhere (the serving plane's batched
+  /// arrival path plans several queued applications jointly against state()
+  /// and commits each one's slice here). The caller guarantees the placement
+  /// is feasible on the current state; same handle semantics as
+  /// place_application.
+  AppHandle adopt_placement(const place::Application& app,
+                            const place::Placement& placement);
+
   /// Releases a finished application's CPU reservations (§2.4 life cycle);
   /// `handle` becomes invalid.
   void remove_application(AppHandle handle);

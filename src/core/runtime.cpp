@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "place/rate_model.h"
+#include "serve/batch.h"
 #include "util/require.h"
 
 namespace choreo::core {
@@ -245,37 +246,67 @@ void SessionRuntime::start(workload::ArrivalStream& stream) {
   pull_next_arrival();
 }
 
+void SessionRuntime::admit(AppRecord rec, Choreo::AppHandle handle) {
+  const place::Placement& p = choreo_->placement_of(handle);
+  InFlight entry;
+  entry.handle = handle;
+  entry.est_finish_s =
+      now_ + place::estimate_completion_s(rec.app, p, choreo_->view(),
+                                          config_.choreo.rate_model);
+  AppOutcome& outcome = outcome_of(rec);
+  outcome.placed_s = now_;
+  outcome.placement = p;
+  SessionEvent placed;
+  placed.time_s = now_;
+  placed.kind = SessionEventKind::Placed;
+  placed.app = rec.ordinal;
+  placed.tenant = opts_.tenant;
+  emit(placed);
+  entry.rec = std::move(rec);
+  in_flight_.push_back(std::move(entry));
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_.size());
+  ++stats_.placements;
+  schedule_departure(in_flight_.back());
+  // The periodic review only has a next firing while something is running
+  // (the old loop's `if (!running.empty())` guard on the reevaluation
+  // deadline); re-arm it whenever the fleet transitions from idle.
+  if (in_flight_.size() == 1) schedule_tick();
+}
+
 bool SessionRuntime::try_place(AppRecord& rec) {
   try {
     const Choreo::AppHandle handle = choreo_->place_application(rec.app);
-    const place::Placement& p = choreo_->placement_of(handle);
-    InFlight entry;
-    entry.handle = handle;
-    entry.est_finish_s =
-        now_ + place::estimate_completion_s(rec.app, p, choreo_->view(),
-                                            config_.choreo.rate_model);
-    AppOutcome& outcome = outcome_of(rec);
-    outcome.placed_s = now_;
-    outcome.placement = p;
-    SessionEvent placed;
-    placed.time_s = now_;
-    placed.kind = SessionEventKind::Placed;
-    placed.app = rec.ordinal;
-    placed.tenant = opts_.tenant;
-    emit(placed);
-    entry.rec = std::move(rec);
-    in_flight_.push_back(std::move(entry));
-    stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_.size());
-    ++stats_.placements;
-    schedule_departure(in_flight_.back());
-    // The periodic review only has a next firing while something is running
-    // (the old loop's `if (!running.empty())` guard on the reevaluation
-    // deadline); re-arm it whenever the fleet transitions from idle.
-    if (in_flight_.size() == 1) schedule_tick();
+    admit(std::move(rec), handle);
     return true;
   } catch (const place::PlacementError&) {
     return false;
   }
+}
+
+bool SessionRuntime::try_place_batch(std::size_t count) {
+  CHOREO_ASSERT(count >= 2 && count <= waiting_.size());
+  std::vector<const place::Application*> apps;
+  apps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) apps.push_back(&waiting_[i].app);
+  serve::BatchPlan plan;
+  try {
+    plan = serve::plan_batch(apps, choreo_->state(), config_.choreo.rate_model,
+                             config_.batch);
+  } catch (const place::PlacementError&) {
+    return false;
+  }
+  // The joint placement already accounts for the batch's mutual contention
+  // (the combined application was placed as one), so committing each slice
+  // in FIFO order reproduces the joint commit: CPU and transfer bookkeeping
+  // are additive, and combine()'s traffic matrix is block-diagonal.
+  for (std::size_t i = 0; i < count; ++i) {
+    AppRecord rec = std::move(waiting_.front());
+    waiting_.pop_front();
+    const Choreo::AppHandle handle =
+        choreo_->adopt_placement(rec.app, plan.placements[i]);
+    admit(std::move(rec), handle);
+  }
+  return true;
 }
 
 void SessionRuntime::handle_arrival() {
@@ -321,7 +352,33 @@ void SessionRuntime::handle_arrival() {
 
 void SessionRuntime::handle_retry() {
   ++stats_.retries;
-  while (!waiting_.empty() && try_place(waiting_.front())) waiting_.pop_front();
+  if (!config_.batch.enabled || config_.batch.max_batch <= 1) {
+    // The historical FIFO drain, kept verbatim: place the head, stop at the
+    // first application that does not fit (head-of-line blocking preserves
+    // arrival fairness).
+    while (!waiting_.empty() && try_place(waiting_.front())) waiting_.pop_front();
+    return;
+  }
+  // Batched drain: plan up to max_batch queued applications jointly; on
+  // joint infeasibility halve the batch down to the plain one-at-a-time
+  // attempt. Head-of-line blocking is preserved — the queue head is part of
+  // every attempted batch, and the drain stops when even it alone does not
+  // fit.
+  while (!waiting_.empty()) {
+    std::size_t k = std::min(config_.batch.max_batch, waiting_.size());
+    bool placed = false;
+    while (k > 1) {
+      if (try_place_batch(k)) {
+        placed = true;
+        break;
+      }
+      k /= 2;
+    }
+    if (!placed) {
+      if (!try_place(waiting_.front())) break;
+      waiting_.pop_front();
+    }
+  }
 }
 
 void SessionRuntime::handle_departure() {

@@ -214,7 +214,14 @@ class SessionRuntime {
   bool is_stale(const Event& ev) const;
   void prune();
 
+  /// Bookkeeping for an application Choreo just committed: outcome fields,
+  /// the Placed event, the in-flight entry, and its departure/tick schedule.
+  void admit(AppRecord rec, Choreo::AppHandle handle);
   bool try_place(AppRecord& rec);
+  /// Plans the first `count` waiting applications jointly (serving plane's
+  /// batched arrival path) and admits all of them; false (state untouched)
+  /// when the joint application does not fit.
+  bool try_place_batch(std::size_t count);
   void handle_arrival();
   void handle_retry();
   void handle_departure();

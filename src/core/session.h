@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/choreo.h"
+#include "serve/batch.h"
 
 namespace choreo::core {
 
@@ -23,6 +24,12 @@ struct ControllerConfig {
   /// rejected deterministically: a "rejected" event is logged, the app stays
   /// unplaced (placed_s < 0), and the session continues.
   bool queue_when_full = true;
+  /// Opt-in batched drain of the retry queue: after departures free
+  /// capacity, up to batch.max_batch waiting applications are planned
+  /// jointly (place::combine + one placement) instead of one at a time.
+  /// Disabled by default; disabled (and max_batch == 1) is bit-identical to
+  /// the historical FIFO drain.
+  serve::BatchArrivalOptions batch;
 };
 
 /// What happened at one instant of a session. Values format (via

@@ -119,4 +119,8 @@ ClusterState ClusterState::clone_unoccupied() const {
   return ClusterState(std::make_unique<PlacementEngine>(engine_->clone_unoccupied()));
 }
 
+ClusterState ClusterState::clone() const {
+  return ClusterState(std::make_unique<PlacementEngine>(engine_->clone()));
+}
+
 }  // namespace choreo::place

@@ -171,6 +171,12 @@ class ClusterState {
   /// and re-sorting the static indexes.
   ClusterState clone_unoccupied() const;
 
+  /// A full copy — view, cached indexes, AND residual occupancy. What the
+  /// serving plane refreshes its per-worker scratch arenas from when a new
+  /// snapshot epoch is published; like clone_unoccupied it skips
+  /// re-validating and re-sorting.
+  ClusterState clone() const;
+
   /// The engine this state is backed by. Returned non-const from a const
   /// state on purpose: placement algorithms run *tentative* apply/undo
   /// transactions (PlacementEngine::Txn) that are always rolled back before

@@ -1,6 +1,7 @@
 #include "place/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace choreo::place {
@@ -8,7 +9,7 @@ namespace choreo::place {
 PlacementEngine::PlacementEngine(ClusterView view)
     : view_(std::move(view)),
       used_cores_(view_.machine_count(), 0.0),
-      on_path_(view_.machine_count(), view_.machine_count()),
+      on_path_(view_.machine_count() * view_.machine_count(), 0.0),
       out_of_(view_.machine_count(), 0.0) {
   view_.validate();
   rebuild_static();
@@ -39,16 +40,23 @@ void PlacementEngine::rebuild_static() {
       } else if (view_.colocated(m, n)) {
         ub_(m, n) = view_.rate_bps(m, n);
       } else {
+        // The cross-traffic share is fetched once and the path capacity
+        // expanded inline as R*(c+1) — the literal expression
+        // ClusterView::path_capacity_bps computes from the same c, so the
+        // bound is the bit-identical double with one matrix read instead of
+        // two.
         const double c = view_.cross_traffic.empty() ? 0.0 : view_.cross_traffic(m, n);
-        ub_(m, n) = std::max(view_.rate_bps(m, n),
-                             residual::pipe_rate_bps(view_.path_capacity_bps(m, n), c, 0.0));
+        const double r = view_.rate_bps(m, n);
+        ub_(m, n) = std::max(r, residual::pipe_rate_bps(r * (c + 1.0), c, 0.0));
       }
     }
   }
 
   // Ranked candidate lists: for each machine, peers ordered by descending
   // static upper bound, ties toward the lower index (the exhaustive scan's
-  // tie-break direction).
+  // tie-break direction). Peer and bound live side by side (SoA rows of
+  // RankEntry) so the best-first walks stream one contiguous array.
+  CHOREO_ASSERT(M <= std::numeric_limits<std::uint32_t>::max());
   dest_rank_.resize(M * M);
   src_rank_.resize(M * M);
   std::vector<std::size_t> order(M);
@@ -59,7 +67,10 @@ void PlacementEngine::rebuild_static() {
       const double ub = upper_bound_bps(m, b);
       return ua != ub ? ua > ub : a < b;
     });
-    std::copy(order.begin(), order.end(), dest_rank_.begin() + m * M);
+    for (std::size_t k = 0; k < M; ++k) {
+      dest_rank_[m * M + k] =
+          RankEntry{upper_bound_bps(m, order[k]), static_cast<std::uint32_t>(order[k])};
+    }
 
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -67,7 +78,10 @@ void PlacementEngine::rebuild_static() {
       const double ub = upper_bound_bps(b, m);
       return ua != ub ? ua > ub : a < b;
     });
-    std::copy(order.begin(), order.end(), src_rank_.begin() + m * M);
+    for (std::size_t k = 0; k < M; ++k) {
+      src_rank_[m * M + k] =
+          RankEntry{upper_bound_bps(order[k], m), static_cast<std::uint32_t>(order[k])};
+    }
   }
 }
 
@@ -75,12 +89,17 @@ double PlacementEngine::rate_bps(std::size_t m, std::size_t n, RateModel model) 
   CHOREO_REQUIRE(m < machine_count() && n < machine_count());
   if (m == n) return kIntraMachineRate;
   if (view_.colocated(m, n)) {
-    return residual::vswitch_rate_bps(view_.rate_bps(m, n), on_path_(m, n));
+    return residual::vswitch_rate_bps(view_.rate_bps(m, n),
+                                      on_path_[m * machine_count() + n]);
   }
   switch (model) {
     case RateModel::Pipe: {
+      // One cross-traffic fetch feeds both the capacity R*(c+1) and the
+      // share term — the same literal arithmetic path_capacity_bps runs, so
+      // the result is bit-identical to the uncached transfer_rate_bps.
       const double c = view_.cross_traffic.empty() ? 0.0 : view_.cross_traffic(m, n);
-      return residual::pipe_rate_bps(view_.path_capacity_bps(m, n), c, on_path_(m, n));
+      return residual::pipe_rate_bps(view_.rate_bps(m, n) * (c + 1.0), c,
+                                     on_path_[m * machine_count() + n]);
     }
     case RateModel::Hose:
       return residual::hose_rate_bps(view_.rate_bps(m, n), hose_[m], cross_out_[m],
@@ -130,7 +149,7 @@ void PlacementEngine::update_view(ClusterView view) {
   for (std::size_t m = 0; m < M; ++m) {
     double out = 0.0;
     for (std::size_t n = 0; n < M; ++n) {
-      if (n != m && !view_.colocated(m, n)) out += on_path_(m, n);
+      if (n != m && !view_.colocated(m, n)) out += on_path_[m * M + n];
     }
     out_of_[m] = out;
   }
@@ -156,9 +175,14 @@ PlacementEngine PlacementEngine::clone_unoccupied() const {
   CHOREO_ASSERT_MSG(txn_log_.empty(), "clone_unoccupied inside an open Txn");
   PlacementEngine clone(*this);
   std::fill(clone.used_cores_.begin(), clone.used_cores_.end(), 0.0);
-  clone.on_path_ = DoubleMatrix(machine_count(), machine_count());
+  std::fill(clone.on_path_.begin(), clone.on_path_.end(), 0.0);
   std::fill(clone.out_of_.begin(), clone.out_of_.end(), 0.0);
   return clone;
+}
+
+PlacementEngine PlacementEngine::clone() const {
+  CHOREO_ASSERT_MSG(txn_log_.empty(), "clone inside an open Txn");
+  return PlacementEngine(*this);
 }
 
 }  // namespace choreo::place

@@ -64,7 +64,7 @@ class PlacementEngine {
   /// Transfers currently placed on path m->n (inter-machine only),
   /// committed plus any tentative Txn applications.
   double transfers_on_path(std::size_t m, std::size_t n) const {
-    return on_path_(m, n);
+    return on_path_[m * machine_count() + n];
   }
   /// Transfers currently leaving machine m for non-colocated machines.
   double transfers_out_of(std::size_t m) const { return out_of_[m]; }
@@ -90,15 +90,35 @@ class PlacementEngine {
   double upper_bound_bps(std::size_t m, std::size_t n) const {
     return ub_(m, n);
   }
+
+  /// One entry of a ranked candidate list: the peer machine and its static
+  /// rate ceiling, stored together so the hot best-first walks read both
+  /// from one contiguous array instead of gathering bounds through the ub_
+  /// matrix. `bound` is exactly upper_bound_bps(row machine, peer) — same
+  /// double, copied at rebuild time — so pruning on it is bit-identical to
+  /// pruning through the matrix.
+  struct RankEntry {
+    double bound = 0.0;
+    std::uint32_t peer = 0;
+  };
+  /// Destination list of source m: machine_count() entries ordered by
+  /// (bound desc, peer asc). Valid until the next static-index rebuild.
+  const RankEntry* ranked_dest_row(std::size_t m) const {
+    return dest_rank_.data() + m * machine_count();
+  }
+  /// Source list toward destination n, same ordering contract.
+  const RankEntry* ranked_src_row(std::size_t n) const {
+    return src_rank_.data() + n * machine_count();
+  }
   /// k-th best destination of source m by (upper bound desc, index asc);
   /// k in [0, machine_count()). Position 0 is m itself unless some measured
   /// rate exceeds kIntraMachineRate.
   std::size_t ranked_dest(std::size_t m, std::size_t k) const {
-    return dest_rank_[m * machine_count() + k];
+    return dest_rank_[m * machine_count() + k].peer;
   }
   /// k-th best source toward destination n by (upper bound desc, index asc).
   std::size_t ranked_src(std::size_t n, std::size_t k) const {
-    return src_rank_[n * machine_count() + k];
+    return src_rank_[n * machine_count() + k].peer;
   }
 
   // ---- Committed mutations ----
@@ -126,6 +146,12 @@ class PlacementEngine {
 
   /// Copy with identical view and static indexes but zero occupancy.
   PlacementEngine clone_unoccupied() const;
+
+  /// Full copy: identical view, static indexes, AND residual occupancy.
+  /// What the serving plane's per-worker scratch arenas are refreshed from —
+  /// a plain O(n^2) memcpy-shaped copy that skips re-validating the view and
+  /// re-sorting the ranked lists. Must not be called inside an open Txn.
+  PlacementEngine clone() const;
 
   // ---- Tentative mutations ----
 
@@ -184,7 +210,7 @@ class PlacementEngine {
   };
 
   void register_transfer(std::size_t m, std::size_t n, double sign) {
-    on_path_(m, n) += sign;
+    on_path_[m * machine_count() + n] += sign;
     if (!view_.colocated(m, n)) out_of_[m] += sign;
   }
   void apply(const Application& app, const Placement& placement, double sign);
@@ -196,12 +222,14 @@ class PlacementEngine {
   std::vector<double> hose_;
   std::vector<double> cross_out_;
   DoubleMatrix ub_;
-  std::vector<std::size_t> dest_rank_;  // machine_count^2, row-major by source
-  std::vector<std::size_t> src_rank_;   // machine_count^2, row-major by destination
+  std::vector<RankEntry> dest_rank_;  // machine_count^2, row-major by source
+  std::vector<RankEntry> src_rank_;   // machine_count^2, row-major by destination
 
-  // Residual indexes (committed plus open-Txn tentative state).
+  // Residual indexes (committed plus open-Txn tentative state). on_path_ is
+  // a flat row-major array indexed without per-access bounds checks — the
+  // rate query on the serving hot path touches it once per candidate.
   std::vector<double> used_cores_;
-  DoubleMatrix on_path_;
+  std::vector<double> on_path_;  // machine_count^2, row-major by source
   std::vector<double> out_of_;
 
   std::vector<Op> txn_log_;

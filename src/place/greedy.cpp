@@ -31,10 +31,13 @@ struct BestCandidate {
 /// best-first search: the next unexplored candidate and its static upper
 /// bound. Max-heap by bound (tie order irrelevant — every entry whose bound
 /// ties the best exact rate still gets evaluated before the search stops).
+/// `row` points at the source's contiguous RankEntry list, so advancing a
+/// frontier reads the next bound and peer from one cache line.
 struct Frontier {
   double bound = 0.0;
+  const PlacementEngine::RankEntry* row = nullptr;
   std::size_t m = 0;
-  std::size_t k = 0;  // position in ranked_dest(m, ·)
+  std::size_t k = 0;  // position in row
 
   bool operator<(const Frontier& other) const { return bound < other.bound; }
 };
@@ -112,32 +115,33 @@ Placement GreedyPlacer::place(const Application& app, const ClusterState& state)
     // rate found (ties keep going — a tying candidate with a lower index
     // would win the tie-break).
     if (mi != kUnplaced) {
+      const PlacementEngine::RankEntry* row = eng.ranked_dest_row(mi);
       for (std::size_t k = 0; k < M; ++k) {
-        const std::size_t n = eng.ranked_dest(mi, k);
-        if (eng.upper_bound_bps(mi, n) < best.rate) break;
-        consider(mi, n);
+        if (row[k].bound < best.rate) break;
+        consider(mi, row[k].peer);
       }
     } else if (mj != kUnplaced) {
+      const PlacementEngine::RankEntry* row = eng.ranked_src_row(mj);
       for (std::size_t k = 0; k < M; ++k) {
-        const std::size_t m = eng.ranked_src(mj, k);
-        if (eng.upper_bound_bps(m, mj) < best.rate) break;
-        consider(m, mj);
+        if (row[k].bound < best.rate) break;
+        consider(row[k].peer, mj);
       }
     } else {
       // Both endpoints free: merge the M ranked destination lists through a
       // frontier heap — top-k pruning over the M^2 pair candidates.
       heap.clear();
       for (std::size_t m = 0; m < M; ++m) {
-        heap.push_back(Frontier{eng.upper_bound_bps(m, eng.ranked_dest(m, 0)), m, 0});
+        const PlacementEngine::RankEntry* row = eng.ranked_dest_row(m);
+        heap.push_back(Frontier{row[0].bound, row, m, 0});
       }
       std::make_heap(heap.begin(), heap.end());
       while (!heap.empty() && heap.front().bound >= best.rate) {
         std::pop_heap(heap.begin(), heap.end());
         Frontier f = heap.back();
         heap.pop_back();
-        consider(f.m, eng.ranked_dest(f.m, f.k));
+        consider(f.m, f.row[f.k].peer);
         if (++f.k < M) {
-          f.bound = eng.upper_bound_bps(f.m, eng.ranked_dest(f.m, f.k));
+          f.bound = f.row[f.k].bound;
           heap.push_back(f);
           std::push_heap(heap.begin(), heap.end());
         }

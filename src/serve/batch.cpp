@@ -1,0 +1,50 @@
+#include "serve/batch.h"
+
+#include "place/greedy.h"
+#include "place/ilp.h"
+#include "util/require.h"
+
+namespace choreo::serve {
+
+std::vector<place::Placement> split_placement(
+    const std::vector<const place::Application*>& apps, const place::Placement& joint) {
+  std::vector<place::Placement> out;
+  out.reserve(apps.size());
+  std::size_t offset = 0;
+  for (const place::Application* app : apps) {
+    place::Placement p;
+    p.machine_of_task.assign(joint.machine_of_task.begin() + static_cast<std::ptrdiff_t>(offset),
+                             joint.machine_of_task.begin() +
+                                 static_cast<std::ptrdiff_t>(offset + app->task_count()));
+    out.push_back(std::move(p));
+    offset += app->task_count();
+  }
+  CHOREO_REQUIRE_MSG(offset == joint.machine_of_task.size(),
+                     "joint placement does not cover the batch");
+  return out;
+}
+
+BatchPlan plan_batch(const std::vector<const place::Application*>& apps,
+                     const place::ClusterState& state, place::RateModel model,
+                     const BatchArrivalOptions& opts) {
+  CHOREO_REQUIRE(!apps.empty());
+  std::vector<place::Application> copies;
+  copies.reserve(apps.size());
+  for (const place::Application* app : apps) copies.push_back(*app);
+  const place::Application joint_app = place::combine(copies);
+
+  BatchPlan plan;
+  plan.used_ilp =
+      opts.ilp_task_limit > 0 && joint_app.task_count() <= opts.ilp_task_limit;
+  if (plan.used_ilp) {
+    place::IlpPlacer ilp(model);
+    plan.joint = ilp.place(joint_app, state);
+  } else {
+    place::GreedyPlacer greedy(model);
+    plan.joint = greedy.place(joint_app, state);
+  }
+  plan.placements = split_placement(apps, plan.joint);
+  return plan;
+}
+
+}  // namespace choreo::serve

@@ -322,6 +322,75 @@ TEST_P(EngineDifferential, CloneUnoccupiedEqualsFreshState) {
   }
 }
 
+// Pins the hoisted cross-traffic subexpression in rebuild_static (and the
+// mirrored fast path in rate_bps): the cached static bound must equal the
+// pre-hoist formula literal for literal — the max of the measured rate and
+// the residual pipe rate of the un-shared path capacity with zero placed
+// transfers. Any reassociation of the hoisted arithmetic breaks this
+// bit-identity.
+TEST_P(EngineDifferential, UpperBoundsEqualUnhoistedFormula) {
+  Rng rng(GetParam() + 6000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(3, 16));
+  ClusterState state(corpus_cluster(rng, machines));
+  const PlacementEngine& eng = state.engine();
+  const ClusterView& view = state.view();
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (std::size_t n = 0; n < machines; ++n) {
+      if (m == n) continue;
+      const double c = view.cross_traffic.empty() ? 0.0 : view.cross_traffic(m, n);
+      const double expect = std::max(
+          view.rate_bps(m, n),
+          residual::pipe_rate_bps(view.path_capacity_bps(m, n), c, 0.0));
+      EXPECT_EQ(eng.upper_bound_bps(m, n), expect);
+    }
+  }
+}
+
+// The serving plane's full copy: a clone must be indistinguishable from the
+// original (same residuals, same next placement decision) and isolated from
+// it (mutating one leaves the other untouched).
+TEST_P(EngineDifferential, CloneEqualsOriginalAndIsIsolated) {
+  Rng rng(GetParam() + 7000);
+  const std::size_t machines = static_cast<std::size_t>(rng.uniform_int(4, 12));
+  ClusterState original(corpus_cluster(rng, machines));
+  GreedyPlacer greedy(RateModel::Hose);
+  for (int a = 0; a < 2; ++a) {
+    const Application app = corpus_app(rng, machines);
+    try {
+      original.commit(app, greedy.place(app, original));
+    } catch (const PlacementError&) {
+    }
+  }
+
+  ClusterState copy = original.clone();
+  for (std::size_t m = 0; m < machines; ++m) {
+    EXPECT_EQ(copy.free_cores(m), original.free_cores(m));
+    EXPECT_EQ(copy.transfers_out_of(m), original.transfers_out_of(m));
+    for (std::size_t n = 0; n < machines; ++n) {
+      EXPECT_EQ(copy.transfers_on_path(m, n), original.transfers_on_path(m, n));
+    }
+  }
+
+  const Application next = corpus_app(rng, machines);
+  std::optional<Placement> pc, po;
+  try {
+    pc = greedy.place(next, copy);
+  } catch (const PlacementError&) {
+  }
+  try {
+    po = greedy.place(next, original);
+  } catch (const PlacementError&) {
+  }
+  ASSERT_EQ(pc.has_value(), po.has_value());
+  if (pc) {
+    EXPECT_EQ(pc->machine_of_task, po->machine_of_task);
+    // Isolation: committing into the clone leaves the original untouched.
+    const double before = original.transfers_out_of(pc->machine_of_task[0]);
+    copy.commit(next, *pc);
+    EXPECT_EQ(original.transfers_out_of(pc->machine_of_task[0]), before);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential, ::testing::Range<std::uint64_t>(0, 40));
 
 }  // namespace
