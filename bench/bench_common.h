@@ -6,6 +6,7 @@
 // qualitative claim it reproduces, so `for b in build/bench/*; do $b; done`
 // doubles as a reproduction check.
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -125,13 +126,31 @@ class BenchJson {
         case '\\': out += "\\\\"; break;
         case '\n': out += "\\n"; break;
         case '\t': out += "\\t"; break;
-        default: out += c;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default: {
+          const auto u = static_cast<unsigned char>(c);
+          if (u < 0x20) {
+            // Remaining control characters have no shorthand escape; JSON
+            // requires the \u00XX form.
+            static const char* hex = "0123456789abcdef";
+            out += "\\u00";
+            out += hex[u >> 4];
+            out += hex[u & 0xF];
+          } else {
+            out += c;
+          }
+        }
       }
     }
     out += "\"";
     return out;
   }
   static std::string number(double v) {
+    // JSON has no inf/nan literals; emitting them bare ("inf") makes the
+    // whole document unparseable. null is the standard stand-in.
+    if (!std::isfinite(v)) return "null";
     std::ostringstream out;
     out.precision(15);
     out << v;
@@ -144,11 +163,13 @@ class BenchJson {
 };
 
 /// Parses a `--json[=PATH]` argument: empty string when absent, PATH (or the
-/// default `BENCH_<name>.json`) when present.
+/// default `BENCH_<name>.json`) when present. A bare `--json=` means "the
+/// default path" too — an empty PATH must not collide with the
+/// output-disabled sentinel and silently drop the document.
 inline std::string json_path_from_args(int argc, char** argv, const std::string& name) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") return "BENCH_" + name + ".json";
+    if (arg == "--json" || arg == "--json=") return "BENCH_" + name + ".json";
     if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
   }
   return "";

@@ -7,16 +7,24 @@
 //   choreo_sim --mode sequence --apps 4 --algorithm round-robin
 //   choreo_sim --mode session --tenants 3 --vms 8 --duration-hours 12 --bursty
 //   choreo_sim --mode session --tenants 8 --threads 4   # sharded, same output
+//   choreo_sim --mode agents --vms 20 --cycles 8 --loss 0.2 --crash-rate 0.02
 //   choreo_sim --help
 //
 // --mode session drives the discrete-event core::SessionRuntime: N tenants
 // on disjoint VM slices of one cloud, each streaming a diurnal trace
 // workload (optionally MMPP-bursty), interleaved on a shared clock — a
 // manual scenario harness for the control plane.
+//
+// --mode agents drives the distributed measurement plane: one host agent
+// per VM reporting to a ClusterAgent over a simulated transport whose
+// fault profile (--loss / --duplicate / --delay-max / --crash-rate) is set
+// from the command line, with a per-cycle view of what survived the wire.
 
 #include <iostream>
 #include <memory>
 
+#include "agent/options.h"
+#include "agent/plane.h"
 #include "core/controller.h"
 #include "core/sharded.h"
 #include "measure/throughput_matrix.h"
@@ -61,7 +69,7 @@ int main(int argc, char** argv) {
   args.add_option("vms", "10", "VMs to rent (per tenant in session mode)");
   args.add_option("apps", "2", "applications to place");
   args.add_option("mode", "batch",
-                  "batch (combine & place at once) | sequence | session");
+                  "batch (combine & place at once) | sequence | session | agents");
   args.add_option("algorithm", "greedy",
                   "greedy | random | round-robin | min-machines | ilp");
   args.add_option("rate-model", "hose", "hose | pipe (for greedy/ilp)");
@@ -77,6 +85,13 @@ int main(int argc, char** argv) {
   args.add_option("shards", "0",
                   "session mode: tenant shards (0 = one per thread); only "
                   "meaningful with --threads > 1");
+  args.add_option("cycles", "8", "agents mode: measurement cycles to run");
+  args.add_option("loss", "0", "agents mode: per-message loss probability");
+  args.add_option("duplicate", "0", "agents mode: per-message duplicate probability");
+  args.add_option("delay-max", "0", "agents mode: max delivery delay (cycles)");
+  args.add_option("crash-rate", "0", "agents mode: per-agent crash probability/cycle");
+  args.add_option("report-budget", "0",
+                  "agents mode: max samples per StatsReport (0 = unlimited)");
   args.add_flag("bursty", "session mode: MMPP-modulate the arrival process");
   args.add_flag("forecast",
                 "enable the forecast plane: predictability-driven refresh + "
@@ -278,6 +293,52 @@ int main(int argc, char** argv) {
               << " processed; peak runtime state (events+apps): " << peak_state
               << "\n";
     print_probe_mix(agg);
+    return 0;
+  }
+
+  if (args.get("mode") == "agents") {
+    agent::AgentOptions opts;
+    opts.enabled = true;
+    opts.transport.seed = seed * 17 + 3;
+    opts.transport.fault.loss = args.get_double("loss");
+    opts.transport.fault.duplicate = args.get_double("duplicate");
+    opts.transport.fault.delay_max_cycles =
+        static_cast<std::uint32_t>(args.get_int("delay-max"));
+    opts.crash_rate = args.get_double("crash-rate");
+    opts.crash_seed = seed + 11;
+    opts.max_samples_per_report = static_cast<std::size_t>(args.get_int("report-budget"));
+
+    measure::RefreshPolicy refresh;
+    forecast::ForecastOptions forecast;
+    forecast.enabled = args.get_flag("forecast");
+    agent::AgentPlane plane(cloud, vms, plan, refresh, forecast, opts, model);
+
+    const auto n_cycles = static_cast<std::uint64_t>(args.get_int("cycles"));
+    Table t({"epoch", "planned", "probed", "missing", "defaulted", "reports",
+             "wall (s)"});
+    for (std::uint64_t epoch = 1; epoch <= n_cycles; ++epoch) {
+      const agent::ClusterAgent::CycleReport rep = plane.run_cycle(epoch);
+      t.add_row({std::to_string(epoch), std::to_string(rep.pairs_planned),
+                 std::to_string(rep.pairs_probed), std::to_string(rep.pairs_missing),
+                 std::to_string(rep.pairs_defaulted),
+                 std::to_string(rep.reports_integrated), fmt(rep.wall_time_s, 1)});
+    }
+    std::cout << t.to_string();
+
+    const agent::AgentPlane::Stats s = plane.stats();
+    std::cout << "transport: " << s.transport.sent << " sent, "
+              << s.transport.delivered << " delivered, " << s.transport.dropped
+              << " dropped, " << s.transport.duplicated << " duplicated, "
+              << s.transport.delayed << " delayed ("
+              << fmt(static_cast<double>(s.transport.bytes_sent) / 1e6, 2)
+              << " MB on the wire)\n";
+    std::cout << "agents: " << s.reports_sent << " reports ("
+              << s.retransmits << " retransmits, " << s.samples_deferred
+              << " samples deferred), " << s.crashes << " crashes, " << s.restarts
+              << " restarts; controller dropped " << s.cluster.duplicates_dropped
+              << " duplicates, " << s.cluster.stale_generation_dropped
+              << " stale-generation reports, re-synced " << s.cluster.resyncs
+              << " incarnations\n";
     return 0;
   }
 

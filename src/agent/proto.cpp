@@ -1,0 +1,197 @@
+#include "agent/proto.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace choreo::agent::proto {
+
+namespace {
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(Bytes& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_header(Bytes& out, MsgType type, std::uint32_t count) {
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, count);
+}
+
+/// Bounds-checked little-endian reader; any read past the end poisons the
+/// cursor so the caller's single ok() check at the end suffices.
+class Reader {
+ public:
+  explicit Reader(const Bytes& bytes) : bytes_(bytes) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(raw(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+  std::uint64_t u64() { return raw(8); }
+  double f64() {
+    const std::uint64_t bits = raw(8);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  std::uint64_t raw(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  const Bytes& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Bytes encode(const ProbeRequest& msg) {
+  Bytes out;
+  put_header(out, MsgType::kProbeRequest, static_cast<std::uint32_t>(msg.probes.size()));
+  put_u32(out, msg.agent);
+  put_u64(out, msg.epoch);
+  for (const auto& p : msg.probes) {
+    put_u32(out, p.src);
+    put_u32(out, p.dst);
+    put_u32(out, p.round);
+  }
+  return out;
+}
+
+Bytes encode(const StatsReport& msg) {
+  Bytes out;
+  put_header(out, MsgType::kStatsReport, static_cast<std::uint32_t>(msg.samples.size()));
+  put_u32(out, msg.agent);
+  put_u32(out, msg.generation);
+  put_u32(out, msg.seq);
+  for (const auto& s : msg.samples) {
+    put_u32(out, s.src);
+    put_u32(out, s.dst);
+    put_u64(out, s.epoch);
+    put_f64(out, s.rate_bps);
+  }
+  return out;
+}
+
+Bytes encode(const Ack& msg) {
+  Bytes out;
+  put_header(out, MsgType::kAck, 0);
+  put_u32(out, msg.agent);
+  put_u32(out, msg.generation);
+  put_u32(out, msg.seq);
+  return out;
+}
+
+Bytes encode(const Hello& msg) {
+  Bytes out;
+  put_header(out, MsgType::kHello, 0);
+  put_u32(out, msg.agent);
+  put_u32(out, msg.generation);
+  return out;
+}
+
+Bytes encode(const HelloAck& msg) {
+  Bytes out;
+  put_header(out, MsgType::kHelloAck, 0);
+  put_u32(out, msg.agent);
+  put_u32(out, msg.generation);
+  return out;
+}
+
+std::optional<Message> decode(const Bytes& bytes) {
+  Reader r(bytes);
+  if (r.u32() != kMagic) return std::nullopt;
+  if (r.u16() != kVersion) return std::nullopt;
+  const std::uint16_t type = r.u16();
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return std::nullopt;
+
+  Message msg;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kProbeRequest: {
+      msg.type = MsgType::kProbeRequest;
+      msg.probe_request.agent = r.u32();
+      msg.probe_request.epoch = r.u64();
+      // Bound the reserve by the byte budget so a forged count cannot force
+      // a huge allocation before the truncation check fires.
+      msg.probe_request.probes.reserve(std::min<std::size_t>(count, bytes.size()));
+      for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+        ProbeDirective p;
+        p.src = r.u32();
+        p.dst = r.u32();
+        p.round = r.u32();
+        msg.probe_request.probes.push_back(p);
+      }
+      break;
+    }
+    case MsgType::kStatsReport: {
+      msg.type = MsgType::kStatsReport;
+      msg.stats_report.agent = r.u32();
+      msg.stats_report.generation = r.u32();
+      msg.stats_report.seq = r.u32();
+      msg.stats_report.samples.reserve(std::min<std::size_t>(count, bytes.size()));
+      for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+        RateSample s;
+        s.src = r.u32();
+        s.dst = r.u32();
+        s.epoch = r.u64();
+        s.rate_bps = r.f64();
+        msg.stats_report.samples.push_back(s);
+      }
+      break;
+    }
+    case MsgType::kAck:
+      msg.type = MsgType::kAck;
+      msg.ack.agent = r.u32();
+      msg.ack.generation = r.u32();
+      msg.ack.seq = r.u32();
+      break;
+    case MsgType::kHello:
+      msg.type = MsgType::kHello;
+      msg.hello.agent = r.u32();
+      msg.hello.generation = r.u32();
+      break;
+    case MsgType::kHelloAck:
+      msg.type = MsgType::kHelloAck;
+      msg.hello_ack.agent = r.u32();
+      msg.hello_ack.generation = r.u32();
+      break;
+    default:
+      return std::nullopt;
+  }
+  // Truncated payloads and trailing garbage are both rejected: the byte
+  // count must match the declared shape exactly.
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace choreo::agent::proto

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "agent/plane.h"
 #include "measure/packet_train.h"
 #include "place/rate_model.h"
 #include "util/require.h"
@@ -14,10 +15,39 @@ Choreo::Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig c
   CHOREO_REQUIRE(vms_.size() >= 2);
 }
 
+Choreo::~Choreo() = default;
+
 double Choreo::measure_network(std::uint64_t epoch) {
   place::ClusterView view;
   last_measure_ = MeasureReport{};
-  if (config_.use_measured_view) {
+  if (config_.use_measured_view && config_.agents.enabled) {
+    // Distributed path: one agent-plane cycle replaces the in-process
+    // probe/observe/apply sequence. The plane owns its own ViewCache and
+    // PredictivePolicy (fed by whatever reports survive the transport).
+    if (!plane_) {
+      plane_ = std::make_unique<agent::AgentPlane>(cloud_, vms_, config_.plan,
+                                                   config_.refresh, config_.forecast,
+                                                   config_.agents, config_.rate_model);
+    }
+    if (!config_.incremental_refresh) plane_->reset_cache();
+    agent::ClusterAgent::CycleReport rep = plane_->run_cycle(epoch);
+    view = std::move(rep.view);
+    last_measure_.wall_time_s = rep.wall_time_s;
+    last_measure_.pairs_probed = rep.pairs_probed;
+    last_measure_.rounds = rep.rounds;
+    last_measure_.incremental = rep.incremental;
+    last_measure_.never_measured = rep.never_measured;
+    last_measure_.stale = rep.stale;
+    last_measure_.volatile_pairs = rep.volatile_pairs;
+    last_measure_.predictable_pairs = rep.predictable_pairs;
+    last_measure_.unpredictable_pairs = rep.unpredictable_pairs;
+    last_measure_.changepoint_pairs = rep.changepoint_pairs;
+    last_measure_.predicted_pairs = rep.predicted_pairs;
+    last_measure_.forecast_full_sweep = rep.forecast_full_sweep;
+    last_measure_.agent_pairs_planned = rep.pairs_planned;
+    last_measure_.agent_pairs_missing = rep.pairs_missing;
+    last_measure_.agent_reports = rep.reports_integrated;
+  } else if (config_.use_measured_view) {
     if (!config_.incremental_refresh) {
       // Full sweep every cycle: forget everything, then refresh.
       cache_ = measure::ViewCache(vms_.size());

@@ -5,12 +5,17 @@
 #include <memory>
 #include <vector>
 
+#include "agent/options.h"
 #include "cloud/cloud.h"
 #include "forecast/predictive_policy.h"
 #include "measure/throughput_matrix.h"
 #include "place/cluster.h"
 #include "place/greedy.h"
 #include "place/placer.h"
+
+namespace choreo::agent {
+class AgentPlane;
+}
 
 namespace choreo::core {
 
@@ -46,6 +51,13 @@ struct ChoreoConfig {
   /// instead of packet-train measurements (isolates placement quality from
   /// measurement error in ablations).
   bool use_measured_view = true;
+  /// Distributed agent plane: when agents.enabled, measure_network() runs a
+  /// host-agent/cluster-agent cycle over a SimTransport instead of probing
+  /// in-process. With the default (lossless, zero-delay) transport the two
+  /// paths are bit-identical (pinned by test_agent); with fault injection
+  /// the controller places against a stale-or-partial view with forecast
+  /// fill over the gaps. Ignored when use_measured_view is false.
+  agent::AgentOptions agents;
 };
 
 /// The Choreo system (§2): measure the network between the tenant's VMs,
@@ -65,6 +77,7 @@ class Choreo {
   /// outlive this object; Choreo only interacts with it through the tenant
   /// interface (packet trains, traceroute, transfers — §2.2).
   Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig config);
+  ~Choreo();
 
   /// The tenant's fleet, in the index order used by ClusterView/Placement
   /// machine indices.
@@ -96,6 +109,14 @@ class Choreo {
     std::size_t changepoint_pairs = 0;    ///< probed: CUSUM flagged a regime shift
     std::size_t predicted_pairs = 0;      ///< view entries filled from forecasts
     bool forecast_full_sweep = false;     ///< regime alarm forced probing everything
+
+    // Agent-plane accounting (all zero while config.agents is disabled; on
+    // the lossless zero-delay oracle transport, planned == probed and
+    // missing == 0, keeping every shared field above bit-identical to the
+    // in-process path).
+    std::size_t agent_pairs_planned = 0;  ///< pairs the controller requested
+    std::size_t agent_pairs_missing = 0;  ///< planned pairs with no in-cycle report
+    std::size_t agent_reports = 0;        ///< fresh StatsReports integrated
   };
 
   /// Runs the measurement phase (§4.1): packet trains scheduled into
@@ -115,6 +136,11 @@ class Choreo {
 
   /// Detailed accounting of the most recent measure_network() cycle.
   const MeasureReport& last_measure() const { return last_measure_; }
+
+  /// The distributed measurement plane, or nullptr until the first
+  /// measure_network() with config.agents.enabled (and never otherwise).
+  /// Exposes transport/controller/host counters for benches and tests.
+  const agent::AgentPlane* agent_plane() const { return plane_.get(); }
 
   /// The tenant's current knowledge of its cluster.
   const place::ClusterView& view() const;
@@ -206,6 +232,11 @@ class Choreo {
   /// delegating verbatim to config.refresh), per-pair history, and the
   /// prediction/discount view rewrite.
   forecast::PredictivePolicy policy_;
+  /// The distributed measurement plane (config.agents); created lazily on
+  /// the first agent-path measure_network(). When active it owns the
+  /// ViewCache/PredictivePolicy lifecycle and cache_/policy_ above are
+  /// bypassed.
+  std::unique_ptr<agent::AgentPlane> plane_;
   MeasureReport last_measure_;
 };
 

@@ -74,6 +74,9 @@ SessionRuntime::SessionRuntime(cloud::Cloud& cloud, std::vector<cloud::VmId> vms
       opts_(std::move(options)) {
   CHOREO_REQUIRE(vms_.size() >= 2);
   CHOREO_REQUIRE(config_.choreo.reevaluate_period_s > 0.0);
+  // The session-level agent-plane opt-in is just ChoreoConfig plumbing:
+  // every Choreo this runtime constructs measures through the agents.
+  if (config_.agents.enabled) config_.choreo.agents = config_.agents;
   next_reeval_ = config_.choreo.reevaluate_period_s;
 }
 
@@ -360,19 +363,22 @@ void SessionRuntime::handle_retry() {
     return;
   }
   // Batched drain: plan up to max_batch queued applications jointly; on
-  // joint infeasibility halve the batch down to the plain one-at-a-time
-  // attempt. Head-of-line blocking is preserved — the queue head is part of
-  // every attempted batch, and the drain stops when even it alone does not
-  // fit.
+  // joint infeasibility step the batch size down one at a time to the plain
+  // single-app attempt. Stepping (not halving) matters: joint feasibility is
+  // not monotone in any coarser stride — k == 3 infeasible says nothing
+  // about k == 2, and halving used to skip it outright. Head-of-line
+  // blocking is preserved — the queue head is part of every attempted
+  // batch, and the drain stops when even it alone does not fit.
   while (!waiting_.empty()) {
     std::size_t k = std::min(config_.batch.max_batch, waiting_.size());
     bool placed = false;
     while (k > 1) {
+      stats_.batch_attempts.push_back(k);
       if (try_place_batch(k)) {
         placed = true;
         break;
       }
-      k /= 2;
+      --k;
     }
     if (!placed) {
       if (!try_place(waiting_.front())) break;

@@ -99,6 +99,11 @@ class SessionRuntime {
     std::size_t peak_queue = 0;      ///< max pending events
     std::size_t peak_in_flight = 0;  ///< max concurrently running apps
     std::size_t peak_waiting = 0;    ///< max queued (deferred) apps
+    /// Every joint batch size the batched retry drain attempted (in order),
+    /// successful or not; empty unless config.batch.enabled. Introspection
+    /// for tests pinning the drain's step-down sequence — not part of the
+    /// SessionLog, so recording it cannot perturb log bit-identity.
+    std::vector<std::size_t> batch_attempts;
   };
 
   SessionRuntime(cloud::Cloud& cloud, std::vector<cloud::VmId> vms,
@@ -163,6 +168,14 @@ class SessionRuntime {
 
   const Stats& stats() const { return stats_; }
   double now() const { return now_; }
+
+  /// The controller driving this session (valid after start()). Exposes the
+  /// measurement plane's internals — notably Choreo::agent_plane() when the
+  /// session runs with config.agents.enabled.
+  const Choreo& choreo() const {
+    CHOREO_REQUIRE(choreo_ != nullptr);
+    return *choreo_;
+  }
 
  private:
   struct Event {

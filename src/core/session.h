@@ -30,6 +30,14 @@ struct ControllerConfig {
   /// Disabled by default; disabled (and max_batch == 1) is bit-identical to
   /// the historical FIFO drain.
   serve::BatchArrivalOptions batch;
+  /// Opt-in distributed measurement: when agents.enabled, the controller's
+  /// measurement cycles run as host-agent/cluster-agent exchanges over a
+  /// SimTransport (see agent::AgentOptions) instead of in-process probing.
+  /// Copied over choreo.agents at session construction. With the default
+  /// lossless zero-delay transport the session log is bit-identical to the
+  /// in-process path (pinned by test_agent); with fault injection the
+  /// controller places against a stale-or-partial, forecast-filled view.
+  agent::AgentOptions agents;
 };
 
 /// What happened at one instant of a session. Values format (via

@@ -1,0 +1,97 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace choreo::net {
+
+namespace {
+
+// splitmix64-style finalizer: decorrelates (seed, msg id) into an Rng seed so
+// consecutive message ids do not produce correlated fault draws.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t msg) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (msg + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+SimTransport::SimTransport(std::size_t endpoints, TransportOptions options)
+    : opts_(options), queues_(endpoints) {
+  CHOREO_REQUIRE_MSG(endpoints >= 2, "SimTransport needs at least two endpoints");
+  CHOREO_REQUIRE_MSG(opts_.fault.loss >= 0.0 && opts_.fault.loss <= 1.0, "loss probability out of [0, 1]");
+  CHOREO_REQUIRE_MSG(opts_.fault.duplicate >= 0.0 && opts_.fault.duplicate <= 1.0, "duplicate probability out of [0, 1]");
+  CHOREO_REQUIRE_MSG(opts_.fault.delay_min_cycles <= opts_.fault.delay_max_cycles, "delay_min_cycles > delay_max_cycles");
+}
+
+void SimTransport::enqueue(Endpoint from, Endpoint to, const Bytes& bytes,
+                           std::uint64_t cycle, std::uint64_t delay) {
+  if (delay > 0) ++stats_.delayed;
+  queues_[to].push_back(InFlight{cycle + delay, next_msg_++, from, bytes});
+}
+
+void SimTransport::send(Endpoint from, Endpoint to, Bytes bytes, std::uint64_t cycle) {
+  CHOREO_REQUIRE_MSG(from < queues_.size() && to < queues_.size(), "SimTransport endpoint out of range");
+  ++stats_.sent;
+  stats_.bytes_sent += bytes.size();
+
+  const FaultProfile& f = opts_.fault;
+  if (f.lossless_zero_delay()) {
+    // Fast path doubles as the oracle guarantee: no RNG is consulted at all,
+    // so the lossless configuration cannot perturb anything downstream.
+    enqueue(from, to, bytes, cycle, 0);
+    return;
+  }
+
+  // One Rng per message, keyed by (seed, global send index): the draw
+  // sequence for message k is fixed no matter what happened to messages
+  // 0..k-1, which keeps fault schedules stable under replay.
+  Rng rng(mix(opts_.seed, next_msg_));
+  if (f.loss > 0.0 && rng.chance(f.loss)) {
+    ++stats_.dropped;
+    ++next_msg_;  // keep the id sequence aligned with send order
+    return;
+  }
+  const auto draw_delay = [&]() -> std::uint64_t {
+    if (f.delay_max_cycles == 0) return 0;
+    return static_cast<std::uint64_t>(rng.uniform_int(f.delay_min_cycles, f.delay_max_cycles));
+  };
+  enqueue(from, to, bytes, cycle, draw_delay());
+  if (f.duplicate > 0.0 && rng.chance(f.duplicate)) {
+    ++stats_.duplicated;
+    enqueue(from, to, bytes, cycle, draw_delay());
+  }
+}
+
+std::vector<SimTransport::Delivery> SimTransport::receive(Endpoint at, std::uint64_t cycle) {
+  CHOREO_REQUIRE_MSG(at < queues_.size(), "SimTransport endpoint out of range");
+  auto& queue = queues_[at];
+  // Move the due messages to the front, keep the rest queued.
+  auto split = std::stable_partition(
+      queue.begin(), queue.end(),
+      [cycle](const InFlight& m) { return m.deliver_cycle <= cycle; });
+  std::vector<InFlight> ready(std::make_move_iterator(queue.begin()),
+                              std::make_move_iterator(split));
+  queue.erase(queue.begin(), split);
+  std::sort(ready.begin(), ready.end(), [](const InFlight& a, const InFlight& b) {
+    if (a.deliver_cycle != b.deliver_cycle) return a.deliver_cycle < b.deliver_cycle;
+    return a.order < b.order;
+  });
+  std::vector<Delivery> out;
+  out.reserve(ready.size());
+  for (auto& m : ready) {
+    ++stats_.delivered;
+    stats_.bytes_delivered += m.bytes.size();
+    out.push_back(Delivery{m.from, std::move(m.bytes)});
+  }
+  return out;
+}
+
+}  // namespace choreo::net

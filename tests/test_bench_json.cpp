@@ -1,0 +1,307 @@
+// The bench binaries' JSON emitter must produce documents a strict JSON
+// parser accepts no matter what the metric values are: non-finite doubles
+// (JSON has no inf/nan literals) become null, and every control character in
+// strings is escaped. Pinned by round-tripping a deliberately pathological
+// table through a minimal spec-faithful recursive-descent parser written
+// here — no external JSON dependency.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace choreo::bench {
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Strict recursive-descent JSON parser: rejects bare inf/nan, unescaped
+/// control characters, trailing garbage, and malformed escapes — exactly the
+/// failures a sloppy emitter would produce.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      }
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // must be escaped
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The emitter only produces \u00XX for control bytes; decoding the
+          // BMP subset below 0x80 as a single byte is enough for round-trip.
+          if (code >= 0x80) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(BenchJson, PathologicalTableRoundTripsThroughAStrictParser) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::string evil = "quote\" back\\slash nl\n tab\t cr\r bell\x07 us\x1f";
+
+  BenchJson doc("patho\"logical\nbench");
+  doc.config("provider", evil);
+  doc.config("ratio", inf);
+  doc.config("pi", 3.25);
+  doc.row()
+      .row("speedup", nan)
+      .row("slowdown", -inf)
+      .row("err", 0.125)
+      .row("label", std::string("ctrl\x01\x02\x1f"));
+  doc.row().row("fine", 1e-3);
+
+  const std::string text = doc.to_string();
+  const auto parsed = JsonParser(text).parse();
+  ASSERT_TRUE(parsed.has_value()) << text;
+  ASSERT_EQ(parsed->kind, JsonValue::Kind::Object);
+
+  const JsonValue* name = parsed->find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "patho\"logical\nbench");
+
+  const JsonValue* config = parsed->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("provider")->string, evil);
+  // Non-finite numbers are null, not bare "inf"/"nan" tokens.
+  EXPECT_EQ(config->find("ratio")->kind, JsonValue::Kind::Null);
+  EXPECT_EQ(config->find("pi")->number, 3.25);
+
+  const JsonValue* rows = parsed->find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 2u);
+  EXPECT_EQ(rows->array[0].find("speedup")->kind, JsonValue::Kind::Null);
+  EXPECT_EQ(rows->array[0].find("slowdown")->kind, JsonValue::Kind::Null);
+  EXPECT_EQ(rows->array[0].find("err")->number, 0.125);
+  EXPECT_EQ(rows->array[0].find("label")->string, std::string("ctrl\x01\x02\x1f"));
+  EXPECT_EQ(rows->array[1].find("fine")->number, 1e-3);
+}
+
+TEST(BenchJson, ParserRejectsWhatTheOldEmitterProduced) {
+  // Regression guards on the parser itself: the pre-fix emitter's outputs
+  // must be rejected, otherwise the round-trip test proves nothing.
+  EXPECT_FALSE(JsonParser(R"({"v": inf})").parse().has_value());
+  EXPECT_FALSE(JsonParser(R"({"v": nan})").parse().has_value());
+  EXPECT_FALSE(JsonParser("{\"v\": \"a\rb\"}").parse().has_value());
+  EXPECT_FALSE(JsonParser("{\"v\": \"a\x01b\"}").parse().has_value());
+  EXPECT_FALSE(JsonParser(R"({"v": 1} extra)").parse().has_value());
+  EXPECT_TRUE(JsonParser(R"({"v": null})").parse().has_value());
+}
+
+TEST(BenchJson, JsonPathFromArgsHandlesBareAndEmptyForms) {
+  const auto path = [](std::vector<std::string> args) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("bench"));
+    for (auto& a : args) argv.push_back(a.data());
+    return json_path_from_args(static_cast<int>(argv.size()), argv.data(), "tbl_x");
+  };
+
+  EXPECT_EQ(path({}), "");
+  EXPECT_EQ(path({"--smoke"}), "");
+  EXPECT_EQ(path({"--json"}), "BENCH_tbl_x.json");
+  // A bare `--json=` (empty PATH) means "default path", not "write to ''" —
+  // the empty string is the output-disabled sentinel and must not collide.
+  EXPECT_EQ(path({"--json="}), "BENCH_tbl_x.json");
+  EXPECT_EQ(path({"--json=out/custom.json"}), "out/custom.json");
+  EXPECT_EQ(path({"--smoke", "--json=a.json"}), "a.json");
+}
+
+}  // namespace
+}  // namespace choreo::bench

@@ -14,6 +14,7 @@
 #include "cloud/cloud.h"
 #include "cloud/profile.h"
 #include "core/controller.h"
+#include "core/runtime.h"
 #include "place/greedy.h"
 #include "place/rate_model.h"
 #include "serve/batch.h"
@@ -21,6 +22,7 @@
 #include "util/rng.h"
 #include "util/units.h"
 #include "workload/generator.h"
+#include "workload/stream.h"
 
 namespace choreo::serve {
 namespace {
@@ -389,6 +391,50 @@ TEST(BatchRuntime, BatchedDrainProducesAValidSession) {
   }
   // The corpus must actually exercise the batched retry drain.
   EXPECT_GT(batched_sessions_with_queueing, 0u);
+}
+
+TEST(BatchRuntime, InfeasibleBatchStepsDownOneSizeAtATime) {
+  // Crafted so joint feasibility is non-monotone in the halving stride:
+  // 2 VMs x 4 cores run a hog (2 tasks x 4.0) while three 3.0-core apps
+  // queue behind it. At the hog's departure the drain must attempt k = 3
+  // (9.0 cores on 8 — infeasible), then k = 2 (one 3.0 task per VM — fits).
+  // The old `k /= 2` halving jumped from 3 straight past 2 to the single-app
+  // path and never discovered the feasible pair.
+  place::Application hog;
+  hog.name = "hog";
+  hog.cpu_demand = {4.0, 4.0};
+  hog.traffic_bytes = DoubleMatrix(2, 2, 0.0);
+  hog.traffic_bytes(0, 1) = gigabytes(20.0);  // keeps the fleet busy a while
+  hog.arrival_s = 0.0;
+
+  std::vector<place::Application> apps{hog};
+  for (int i = 0; i < 3; ++i) {
+    place::Application waiter;
+    waiter.name = "waiter" + std::to_string(i);
+    waiter.cpu_demand = {3.0};
+    waiter.traffic_bytes = DoubleMatrix(1, 1, 0.0);
+    waiter.arrival_s = 1.0 + i;
+    apps.push_back(std::move(waiter));
+  }
+
+  core::ControllerConfig config;
+  config.choreo.use_measured_view = false;
+  config.batch.enabled = true;
+  config.batch.max_batch = 3;
+
+  cloud::Cloud cloud(cloud::ec2_2013(), 5);
+  const auto vms = cloud.allocate_vms(2);
+  core::SessionRuntime runtime(cloud, vms, config);
+  workload::VectorArrivalStream stream(apps);
+  const core::SessionLog log = runtime.run(stream);
+
+  const std::vector<std::size_t> expected{3, 2};
+  EXPECT_EQ(runtime.stats().batch_attempts, expected);
+  // The pair the step-down discovered really got placed together; the third
+  // waiter followed once the pair's capacity freed.
+  for (const core::AppOutcome& a : log.apps) {
+    EXPECT_GE(a.finished_s, 0.0) << a.name;
+  }
 }
 
 }  // namespace
