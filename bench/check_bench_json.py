@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate for the BENCH_*.json documents the bench binaries emit.
+
+Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+
+Each document must parse as strict JSON (bare NaN/Infinity literals are
+rejected), carry the BenchJson shape — a string "name", an object "config",
+a non-empty list "rows" of objects — and every metric value must be a
+finite number, a bool, or a non-empty string. BenchJson serializes
+non-finite doubles as null, so a null in a row means a bench computed
+NaN/inf for a metric it claims to track; that is exactly the regression this
+gate exists to catch.
+
+Exit status is non-zero if any file fails, so CI can run it directly over
+the glob of produced documents.
+"""
+
+import json
+import math
+import sys
+
+
+def fail_constant(value):
+    raise ValueError(f"non-finite JSON constant {value!r}")
+
+
+def check_value(path, key, value, errors):
+    if value is None:
+        errors.append(f"{path}: {key}: null (BenchJson emits null for NaN/inf)")
+    elif isinstance(value, bool):
+        pass
+    elif isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            errors.append(f"{path}: {key}: non-finite number {value!r}")
+    elif isinstance(value, str):
+        if not value:
+            errors.append(f"{path}: {key}: empty string")
+    else:
+        errors.append(f"{path}: {key}: unexpected type {type(value).__name__}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f, parse_constant=fail_constant)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is {type(doc).__name__}, expected object"]
+    for key in ("name", "config", "rows"):
+        if key not in doc:
+            errors.append(f"{path}: missing required key {key!r}")
+    if errors:
+        return errors
+
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        errors.append(f"{path}: name must be a non-empty string")
+    if not isinstance(doc["config"], dict):
+        errors.append(f"{path}: config must be an object")
+    else:
+        for key, value in doc["config"].items():
+            check_value(path, f"config.{key}", value, errors)
+
+    rows = doc["rows"]
+    if not isinstance(rows, list):
+        errors.append(f"{path}: rows must be a list")
+    elif not rows:
+        errors.append(f"{path}: rows is empty — the bench produced no metrics")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                errors.append(f"{path}: rows[{i}] is {type(row).__name__}, expected object")
+                continue
+            if not row:
+                errors.append(f"{path}: rows[{i}] is empty")
+            for key, value in row.items():
+                check_value(path, f"rows[{i}].{key}", value, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed += 1
+            for err in errors:
+                print(f"FAIL {err}")
+        else:
+            print(f"ok   {path}")
+    if failed:
+        print(f"{failed} of {len(argv) - 1} bench JSON document(s) failed the gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

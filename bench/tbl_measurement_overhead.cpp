@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  BenchJson json("tbl_measurement_overhead");
+  json.config("smoke", smoke ? "true" : "false");
 
   header("Measurement overhead: 10 VMs, 90 ordered pairs");
 
@@ -59,6 +61,21 @@ int main(int argc, char** argv) {
   t.add_row({"packet train (Rackspace 10x2000)", fmt(rs_train, 3), fmt(rs_wall, 1)});
   t.add_row({"netperf 10 s", fmt(netperf_per_pair, 1), fmt(netperf_wall, 1)});
   std::cout << t.to_string();
+  json.row()
+      .row("kind", "snapshot")
+      .row("method", "train_ec2")
+      .row("per_probe_s", ec2_train)
+      .row("wall_s", ec2_wall);
+  json.row()
+      .row("kind", "snapshot")
+      .row("method", "train_rackspace")
+      .row("per_probe_s", rs_train)
+      .row("wall_s", rs_wall);
+  json.row()
+      .row("kind", "snapshot")
+      .row("method", "netperf")
+      .row("per_probe_s", netperf_per_pair)
+      .row("wall_s", netperf_wall);
 
   check(ec2_train < 1.0, "one EC2 train takes under a second (paper: <1 s)");
   check(rs_train < 1.0, "one Rackspace train takes under a second");
@@ -113,6 +130,12 @@ int main(int argc, char** argv) {
                    fmt(static_cast<double>(s.round_count()), 0), fmt(parallel_wall, 0),
                    fmt(sequential_wall, 0),
                    fmt(sequential_wall / parallel_wall, 1) + "x"});
+    json.row()
+        .row("kind", "fleet_sweep")
+        .row("vms", static_cast<double>(n))
+        .row("rounds", static_cast<double>(s.round_count()))
+        .row("parallel_wall_s", parallel_wall)
+        .row("sequential_wall_s", sequential_wall);
   }
   std::cout << sweep.to_string();
   check(rounds_ok, "scheduler hits the Konig bound: n-1 rounds for n(n-1) pairs");
@@ -161,7 +184,20 @@ int main(int argc, char** argv) {
     check(incr.wall_time_s < full.wall_time_s,
           "incremental cycle is proportionally cheaper");
     check(unchanged_identical, "unchanged pairs carry over bit-for-bit");
+    json.row()
+        .row("kind", "refresh")
+        .row("cycle", "full")
+        .row("pairs_probed", static_cast<double>(full.pairs_probed))
+        .row("wall_s", full.wall_time_s);
+    json.row()
+        .row("kind", "refresh")
+        .row("cycle", "incremental")
+        .row("pairs_probed", static_cast<double>(incr.pairs_probed))
+        .row("wall_s", incr.wall_time_s);
   }
 
+  const std::string json_path =
+      json_path_from_args(argc, argv, "tbl_measurement_overhead");
+  if (!json_path.empty()) json.write(json_path);
   return finish();
 }

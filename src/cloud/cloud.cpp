@@ -379,6 +379,11 @@ Cloud::ExecResult Cloud::execute(const std::vector<Transfer>& transfers,
                                  std::uint64_t epoch) {
   CHOREO_REQUIRE(!transfers.empty());
   auto bundle = make_sim(epoch);
+  // Transfers finish exactly once and are never queried for routes again, so
+  // let the sim release their storage as they complete — large batches (and
+  // the harness loops that execute thousands of placements) then hold memory
+  // proportional to the in-flight transfer set only.
+  bundle->sim.set_auto_retire(true);
   ExecResult result;
   result.completion_s.assign(transfers.size(), 0.0);
 

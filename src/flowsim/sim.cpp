@@ -13,23 +13,31 @@ constexpr double kByteEpsilon = 1e-3;
 constexpr double kTimeEpsilon = 1e-12;
 }  // namespace
 
-Sim::Sim(const net::Topology& topo, double unconstrained_rate)
-    : topo_(topo), router_(topo), unconstrained_rate_(unconstrained_rate) {
+Sim::Sim(const net::Topology& topo, double unconstrained_rate, KernelMode mode)
+    : topo_(topo),
+      router_(topo),
+      unconstrained_rate_(unconstrained_rate),
+      mode_(mode),
+      kernel_(unconstrained_rate) {
   CHOREO_REQUIRE(unconstrained_rate > 0.0);
   resource_capacity_.reserve(topo.link_count());
-  for (const net::Link& l : topo.links()) resource_capacity_.push_back(l.capacity_bps);
+  for (const net::Link& l : topo.links()) {
+    resource_capacity_.push_back(l.capacity_bps);
+    kernel_.add_resource(l.capacity_bps);
+  }
 }
 
 ResourceId Sim::add_resource(double capacity_bps) {
   CHOREO_REQUIRE(capacity_bps > 0.0);
   resource_capacity_.push_back(capacity_bps);
-  return resource_capacity_.size() - 1;
+  return kernel_.add_resource(capacity_bps);
 }
 
 void Sim::set_resource_capacity(ResourceId id, double capacity_bps) {
   CHOREO_REQUIRE(id < resource_capacity_.size());
   CHOREO_REQUIRE(capacity_bps > 0.0);
   resource_capacity_[id] = capacity_bps;
+  kernel_.set_capacity(id, capacity_bps);
   dirty_ = true;
 }
 
@@ -44,6 +52,18 @@ FlowId Sim::add_flow(const FlowSpec& spec) {
   }
   st.remaining_bytes = spec.bytes;
   const FlowId id = flows_.size();
+  // Register the incidence row in the order the reference path builds its
+  // usage rows — extra resources first, then route links — so per-flow
+  // capacity subtraction happens in the identical sequence.
+  row_scratch_.clear();
+  row_scratch_.insert(row_scratch_.end(), st.spec.extra_resources.begin(),
+                      st.spec.extra_resources.end());
+  row_scratch_.insert(row_scratch_.end(), st.route.links.begin(), st.route.links.end());
+  kernel_.add_flow(row_scratch_.data(), row_scratch_.size());
+  if (spec.bytes != kInfiniteBytes) {
+    ++finite_flows_total_;
+    ++unfinished_finite_;
+  }
   flows_.push_back(std::move(st));
   onoff_index_.push_back(-1);
   push_event(spec.start_time, Event::Kind::Arrival, id);
@@ -81,7 +101,47 @@ bool Sim::flow_active(const FlowState& f) const {
   return f.started && !f.finished && f.on;
 }
 
+void Sim::activate_flow(FlowId id) {
+  kernel_.activate(id);
+  FlowState& f = flows_[id];
+  if (f.spec.extra_resources.empty() && f.route.links.empty()) {
+    // Unconstrained flows never enter a waterfill region; their rate is
+    // final the moment they activate (identical to what the reference path
+    // assigns: min(unconstrained_rate, cap)).
+    f.rate_bps = std::min(unconstrained_rate_, f.spec.rate_cap);
+  }
+}
+
+void Sim::deactivate_flow(FlowId id) {
+  kernel_.deactivate(id);
+  flows_[id].rate_bps = 0.0;
+}
+
+void Sim::retire_flow_storage(FlowId id) {
+  // Keep the queryable outcome (bytes_received, completion_time, spec
+  // scalars) but free everything a finished flow cannot need again.
+  FlowState& f = flows_[id];
+  std::vector<ResourceId>().swap(f.spec.extra_resources);
+  f.route = net::Route{};
+  std::string().swap(f.spec.label);
+  kernel_.retire(id);
+}
+
 void Sim::reallocate() {
+  ++reallocations_;
+  if (mode_ == KernelMode::Reference) {
+    reallocate_reference();
+  } else {
+    const std::vector<FlowId>& region = kernel_.recompute();
+    for (FlowId id : region) {
+      FlowState& f = flows_[id];
+      f.rate_bps = std::min(kernel_.rate(id), f.spec.rate_cap);
+    }
+  }
+  dirty_ = false;
+}
+
+void Sim::reallocate_reference() {
   std::vector<std::vector<ResourceId>> usage;
   std::vector<FlowId> ids;
   for (FlowId id = 0; id < flows_.size(); ++id) {
@@ -101,15 +161,15 @@ void Sim::reallocate() {
     FlowState& f = flows_[ids[i]];
     f.rate_bps = std::min(rates[i], f.spec.rate_cap);
   }
-  dirty_ = false;
 }
 
 void Sim::advance_to(double t) {
   CHOREO_ASSERT(t >= now_ - kTimeEpsilon);
   const double dt = std::max(0.0, t - now_);
   if (dt > 0.0) {
-    for (FlowState& f : flows_) {
-      if (!flow_active(f) || f.rate_bps <= 0.0) continue;
+    for (FlowId id : kernel_.active_flows()) {
+      FlowState& f = flows_[id];
+      if (f.rate_bps <= 0.0) continue;
       const double bytes = f.rate_bps * dt / 8.0;
       f.bytes_received += bytes;
       if (f.remaining_bytes != kInfiniteBytes) {
@@ -122,8 +182,9 @@ void Sim::advance_to(double t) {
 
 double Sim::next_completion() const {
   double best = std::numeric_limits<double>::infinity();
-  for (const FlowState& f : flows_) {
-    if (!flow_active(f) || f.remaining_bytes == kInfiniteBytes) continue;
+  for (FlowId id : kernel_.active_flows()) {
+    const FlowState& f = flows_[id];
+    if (f.remaining_bytes == kInfiniteBytes) continue;
     if (f.rate_bps <= 0.0) continue;
     best = std::min(best, now_ + f.remaining_bytes * 8.0 / f.rate_bps);
   }
@@ -131,8 +192,10 @@ double Sim::next_completion() const {
 }
 
 void Sim::finish_due_flows() {
-  for (FlowState& f : flows_) {
-    if (!flow_active(f) || f.remaining_bytes == kInfiniteBytes) continue;
+  finish_scratch_.clear();
+  for (FlowId id : kernel_.active_flows()) {
+    const FlowState& f = flows_[id];
+    if (f.remaining_bytes == kInfiniteBytes) continue;
     // A flow is done when its residual is negligible either in bytes or in
     // drain time; the time criterion guards against float underflow when a
     // very fast flow's last sliver drains in less than the representable
@@ -140,12 +203,19 @@ void Sim::finish_due_flows() {
     const bool drained_bytes = f.remaining_bytes <= kByteEpsilon;
     const bool drained_time =
         f.rate_bps > 0.0 && f.remaining_bytes * 8.0 / f.rate_bps < 1e-9;
-    if (drained_bytes || drained_time) {
-      f.finished = true;
-      f.remaining_bytes = 0.0;
-      f.completion_time = now_;
-      dirty_ = true;
-    }
+    if (drained_bytes || drained_time) finish_scratch_.push_back(id);
+  }
+  for (FlowId id : finish_scratch_) {
+    FlowState& f = flows_[id];
+    f.finished = true;
+    f.remaining_bytes = 0.0;
+    f.completion_time = now_;
+    makespan_ = std::max(makespan_, now_);
+    CHOREO_ASSERT(unfinished_finite_ > 0);
+    --unfinished_finite_;
+    deactivate_flow(id);
+    if (auto_retire_) retire_flow_storage(id);
+    dirty_ = true;
   }
 }
 
@@ -174,6 +244,7 @@ void Sim::run_until(double t_end) {
         case Event::Kind::Arrival: {
           FlowState& f = flows_[ev.index];
           f.started = true;
+          if (flow_active(f)) activate_flow(ev.index);
           dirty_ = true;
           break;
         }
@@ -183,6 +254,13 @@ void Sim::run_until(double t_end) {
           f.on = !f.on;
           const double hold = oo.rng.exponential(f.on ? oo.mean_on : oo.mean_off);
           push_event(now_ + hold, Event::Kind::Toggle, ev.index);
+          if (f.started && !f.finished) {
+            if (f.on) {
+              activate_flow(ev.index);
+            } else {
+              deactivate_flow(ev.index);
+            }
+          }
           dirty_ = true;
           break;
         }
@@ -205,25 +283,12 @@ void Sim::run_until(double t_end) {
 }
 
 void Sim::run_to_completion(double t_max) {
-  bool any_finite = false;
-  for (const FlowState& f : flows_) {
-    if (f.spec.bytes != kInfiniteBytes) {
-      any_finite = true;
-      break;
-    }
-  }
-  CHOREO_REQUIRE_MSG(any_finite, "run_to_completion needs at least one finite flow");
+  CHOREO_REQUIRE_MSG(finite_flows_total_ > 0,
+                     "run_to_completion needs at least one finite flow");
   // Step in chunks until all finite flows are done (events from ON-OFF flows
   // keep the queue non-empty forever, so we cannot just drain it).
   while (now_ < t_max) {
-    bool pending = false;
-    for (const FlowState& f : flows_) {
-      if (f.spec.bytes != kInfiniteBytes && !f.finished) {
-        pending = true;
-        break;
-      }
-    }
-    if (!pending) return;
+    if (unfinished_finite_ == 0) return;
     if (dirty_) reallocate();
     const double t_event = events_.empty() ? std::numeric_limits<double>::infinity()
                                            : events_.top().time;
@@ -242,32 +307,19 @@ const FlowState& Sim::flow(FlowId id) const {
   return flows_[id];
 }
 
-std::size_t Sim::active_flow_count() const {
-  std::size_t n = 0;
-  for (const FlowState& f : flows_) {
-    if (flow_active(f)) ++n;
-  }
-  return n;
-}
+std::size_t Sim::active_flow_count() const { return kernel_.active_flows().size(); }
 
 std::vector<Sim::LinkLoad> Sim::link_loads() const {
   std::vector<LinkLoad> loads(topo_.link_count());
-  for (const FlowState& f : flows_) {
-    if (!flow_active(f) || f.rate_bps <= 0.0) continue;
+  for (FlowId id : kernel_.active_flows()) {
+    const FlowState& f = flows_[id];
+    if (f.rate_bps <= 0.0) continue;
     for (net::LinkId l : f.route.links) {
       loads[l].used_bps += f.rate_bps;
       ++loads[l].flows;
     }
   }
   return loads;
-}
-
-double Sim::makespan() const {
-  double best = -1.0;
-  for (const FlowState& f : flows_) {
-    if (f.finished) best = std::max(best, f.completion_time);
-  }
-  return best;
 }
 
 double run_makespan(Sim& sim, double t_max) {

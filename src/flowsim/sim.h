@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flowsim/max_min.h"
+#include "flowsim/max_min_kernel.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "util/rng.h"
@@ -30,7 +31,10 @@ struct FlowSpec {
   std::uint64_t flow_key = 0;
   /// Additional shared resources this flow consumes (hose caps, vswitches).
   std::vector<ResourceId> extra_resources;
-  /// Individual rate ceiling (bits/s); infinity when absent.
+  /// Individual rate ceiling (bits/s); infinity when absent. Applied *after*
+  /// waterfilling: a capped flow is frozen at min(fair share, cap) and its
+  /// unused share is NOT redistributed to other flows (see
+  /// docs/ARCHITECTURE.md, pinned by FlowSim.RateCapDoesNotRedistribute).
   double rate_cap = std::numeric_limits<double>::infinity();
   std::string label;
 };
@@ -49,6 +53,17 @@ struct FlowState {
   double completion_time = -1.0;
 };
 
+/// Selects the rate-computation path of a Sim.
+enum class KernelMode {
+  /// Incremental CSR kernel (MaxMinKernel): component-scoped recompute,
+  /// reverse-index freezing, zero steady-state allocations. The default.
+  Incremental,
+  /// The original full rebuild + `max_min_rates` waterfill, preserved
+  /// verbatim as the differential oracle (test_flowsim_differential pins the
+  /// incremental path bit-identical to it).
+  Reference,
+};
+
 /// Event-driven fluid ("flow-level") network simulator.
 ///
 /// Rates are max-min fair shares over link capacities plus arbitrary extra
@@ -62,12 +77,19 @@ struct FlowState {
 ///   * the cross-traffic experiments of Fig 4,
 ///   * temporal-stability runs of Fig 7, and
 ///   * executing placed applications to obtain completion times (§6).
+///
+/// Steady-state costs are indexed by the *active* flow set, not every flow
+/// ever created: arrivals/finishes/toggles maintain a sorted active-flow
+/// index, rate recomputation is scoped to the connected component(s) of the
+/// flow/resource sharing graph an event touched, and recompute scratch is
+/// reused so no allocations happen once warm (bench/micro_flowsim measures
+/// all three).
 class Sim {
  public:
   /// `unconstrained_rate` is the rate given to flows that cross no resource
   /// at all (e.g., two tasks co-located on one machine with no vswitch cap).
-  explicit Sim(const net::Topology& topo,
-               double unconstrained_rate = 400e9);
+  explicit Sim(const net::Topology& topo, double unconstrained_rate = 400e9,
+               KernelMode mode = KernelMode::Incremental);
 
   /// Registers a shared resource (e.g., a hose-model egress cap). Returned
   /// ids are distinct from link-backed resources.
@@ -97,6 +119,13 @@ class Sim {
   /// flows remain and none are finite; `t_max` bounds runaway simulations.
   void run_to_completion(double t_max = 1e9);
 
+  /// When enabled, a finite flow's route/extra-resource storage (and its
+  /// kernel incidence row) is released the moment it finishes — its outcome
+  /// (bytes_received, completion_time) stays queryable. Long sessions with
+  /// heavy churn then hold memory proportional to the *live* flow set, not
+  /// to every flow ever created. Cloud::execute turns this on.
+  void set_auto_retire(bool enabled) { auto_retire_ = enabled; }
+
   double now() const { return now_; }
   std::size_t flow_count() const { return flows_.size(); }
   const FlowState& flow(FlowId id) const;
@@ -117,7 +146,14 @@ class Sim {
   std::vector<LinkLoad> link_loads() const;
 
   /// Latest completion time among finished finite flows; -1 if none.
-  double makespan() const;
+  double makespan() const { return makespan_; }
+
+  KernelMode kernel_mode() const { return mode_; }
+  /// Incremental-kernel counters (recomputes, region sizes, waterfill
+  /// rounds); all zero in Reference mode.
+  const MaxMinKernel::Stats& kernel_stats() const { return kernel_.stats(); }
+  /// Total reallocate() invocations that found dirty state, either mode.
+  std::uint64_t reallocations() const { return reallocations_; }
 
  private:
   struct Event {
@@ -145,7 +181,16 @@ class Sim {
   void push_event(double time, Event::Kind kind, std::size_t index);
   void advance_to(double t);
   void reallocate();
+  /// The pre-kernel reallocation path, preserved verbatim: rebuilds the
+  /// flow -> resource incidence and re-waterfills every active flow via
+  /// max_min_rates. The differential oracle for KernelMode::Incremental.
+  void reallocate_reference();
   bool flow_active(const FlowState& f) const;
+  /// Marks a flow (in)active in the kernel's index and keeps rate_bps
+  /// consistent for the cases reallocate() will not revisit.
+  void activate_flow(FlowId id);
+  void deactivate_flow(FlowId id);
+  void retire_flow_storage(FlowId id);
   /// Earliest completion time among active finite flows, or +inf.
   double next_completion() const;
   void finish_due_flows();
@@ -153,16 +198,25 @@ class Sim {
   const net::Topology& topo_;
   net::Router router_;
   double unconstrained_rate_;
+  KernelMode mode_;
   double now_ = 0.0;
   std::uint64_t event_seq_ = 0;
 
   std::vector<double> resource_capacity_;  // [0, link_count) mirror links
   std::vector<FlowState> flows_;
+  MaxMinKernel kernel_;  // incidence + active-flow index + incremental rates
   std::vector<OnOffState> onoff_;           // parallel to flows_ (inactive slots unused)
   std::vector<int> onoff_index_;            // flow id -> index into onoff_, or -1
   std::vector<Sampler> samplers_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   bool dirty_ = true;  // rates need recomputation
+  bool auto_retire_ = false;
+  double makespan_ = -1.0;
+  std::size_t finite_flows_total_ = 0;   // finite flows ever added
+  std::size_t unfinished_finite_ = 0;    // finite flows not yet finished
+  std::uint64_t reallocations_ = 0;
+  std::vector<ResourceId> row_scratch_;   // add_flow row staging
+  std::vector<FlowId> finish_scratch_;    // finish_due_flows staging
 };
 
 /// Convenience: simulate the given finite flows (all resources/routes per

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "net/topology.h"
 #include "util/units.h"
 
@@ -102,6 +104,30 @@ TEST(FlowSim, RateCapRespected) {
   const FlowId f = sim.add_flow(spec);
   sim.run_to_completion();
   EXPECT_NEAR(sim.flow(f).completion_time, 10.0, 1e-6);
+}
+
+TEST(FlowSim, RateCapDoesNotRedistribute) {
+  // rate_cap is applied *after* waterfilling: the capped flow is frozen at
+  // min(fair share, cap) but its unused share is NOT handed back to other
+  // flows. On a 1G link split two ways, capping A at 100M leaves B at its
+  // 500M fair share, not 900M. Cap-aware redistribution is flagged as future
+  // work in docs/ARCHITECTURE.md; this test pins the current contract.
+  const Topology t = two_hosts(1e9);
+  Sim sim(t);
+  FlowSpec capped;
+  capped.src = 0;
+  capped.dst = 1;
+  capped.bytes = kInfiniteBytes;
+  capped.rate_cap = 100e6;
+  FlowSpec uncapped = capped;
+  uncapped.rate_cap = std::numeric_limits<double>::infinity();
+  const FlowId fa = sim.add_flow(capped);
+  const FlowId fb = sim.add_flow(uncapped);
+  sim.run_until(2.0);
+  EXPECT_EQ(sim.flow(fa).rate_bps, 100e6);
+  EXPECT_EQ(sim.flow(fb).rate_bps, 0.5e9);
+  EXPECT_EQ(sim.flow(fa).bytes_received, 2.0 * 100e6 / 8.0);
+  EXPECT_EQ(sim.flow(fb).bytes_received, 2.0 * 0.5e9 / 8.0);
 }
 
 TEST(FlowSim, IntraHostFlowUsesUnconstrainedRate) {

@@ -102,5 +102,48 @@ TEST_P(MaxMinProperty, FeasibleAndBottleneckTight) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinProperty,
                          ::testing::Range<std::uint64_t>(0, 25));
 
+// --- Tie-break and edge-case pins. The incremental kernel
+// (flowsim/max_min_kernel.h) must reproduce these bit for bit, so the exact
+// outputs below are contractual, not incidental.
+
+TEST(MaxMin, TiedBottlenecksResolveToLowestResourceId) {
+  // r0 and r1 both offer a 0.5 share in round one (strict `<` keeps r0).
+  // A and B freeze off r0 in flow-id order, then C takes what B left on r1.
+  const auto rates = max_min_rates({1e9, 1e9}, {{0}, {0, 1}, {1}}, 1e12);
+  EXPECT_EQ(rates[0], 0.5e9);
+  EXPECT_EQ(rates[1], 0.5e9);
+  EXPECT_EQ(rates[2], 0.5e9);
+}
+
+TEST(MaxMin, DuplicateRowEntriesCountTwiceTowardLoad) {
+  // A flow listing a resource twice consumes two shares of it but is frozen
+  // only once: alone on a 1G link it gets 0.5G, not 1G. Documented quirk —
+  // the cloud layer never emits duplicates, but the kernel must match.
+  const auto rates = max_min_rates({1e9}, {{0, 0}}, 1e12);
+  EXPECT_EQ(rates[0], 0.5e9);
+  const auto mixed = max_min_rates({1e9}, {{0, 0}, {0}}, 1e12);
+  // Load 3 on the shared link: the round-one share is 1/3 and both flows sit
+  // on the bottleneck, so both freeze there — the duplicate entry costs every
+  // sharer a third instead of a half.
+  EXPECT_EQ(mixed[0], 1e9 / 3.0);
+  EXPECT_EQ(mixed[1], 1e9 / 3.0);
+}
+
+TEST(MaxMin, SingleResourceComponentsAreIndependent) {
+  // Three disjoint one-flow components: each flow takes its whole resource.
+  // This is the base case component-scoped recompute leans on.
+  const auto rates = max_min_rates({1e9, 2e9, 3e9}, {{0}, {1}, {2}}, 1e12);
+  EXPECT_EQ(rates[0], 1e9);
+  EXPECT_EQ(rates[1], 2e9);
+  EXPECT_EQ(rates[2], 3e9);
+}
+
+TEST(MaxMin, ZeroCapacityResourceFreezesCrossingFlowsAtZero) {
+  const auto rates = max_min_rates({0.0, 1e9}, {{0}, {0, 1}, {1}}, 1e12);
+  EXPECT_EQ(rates[0], 0.0);
+  EXPECT_EQ(rates[1], 0.0);
+  EXPECT_EQ(rates[2], 1e9);  // the zero component does not starve the other
+}
+
 }  // namespace
 }  // namespace choreo::flowsim
