@@ -17,6 +17,7 @@
 #include "cloud/cloud.h"
 #include "place/app.h"
 #include "place/cluster.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -118,44 +119,11 @@ class BenchJson {
   }
 
  private:
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        case '\b': out += "\\b"; break;
-        case '\f': out += "\\f"; break;
-        default: {
-          const auto u = static_cast<unsigned char>(c);
-          if (u < 0x20) {
-            // Remaining control characters have no shorthand escape; JSON
-            // requires the \u00XX form.
-            static const char* hex = "0123456789abcdef";
-            out += "\\u00";
-            out += hex[u >> 4];
-            out += hex[u & 0xF];
-          } else {
-            out += c;
-          }
-        }
-      }
-    }
-    out += "\"";
-    return out;
-  }
-  static std::string number(double v) {
-    // JSON has no inf/nan literals; emitting them bare ("inf") makes the
-    // whole document unparseable. null is the standard stand-in.
-    if (!std::isfinite(v)) return "null";
-    std::ostringstream out;
-    out.precision(15);
-    out << v;
-    return out.str();
-  }
+  // One escaping rule set for every JSON surface in the repo (util/json.h):
+  // the obs plane's metrics/trace exports reuse these, so the strict parser
+  // in test_bench_json.cpp covers them all.
+  static std::string quote(const std::string& s) { return util::json_quote(s); }
+  static std::string number(double v) { return util::json_number(v); }
 
   std::string name_;
   std::vector<std::pair<std::string, std::string>> config_;

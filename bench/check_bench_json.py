@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
-"""Gate for the BENCH_*.json documents the bench binaries emit.
+"""Gate for the JSON documents the bench binaries and the obs plane emit.
 
-Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+Usage: check_bench_json.py FILE.json [...]
 
-Each document must parse as strict JSON (bare NaN/Infinity literals are
-rejected), carry the BenchJson shape — a string "name", an object "config",
-a non-empty list "rows" of objects — and every metric value must be a
-finite number, a bool, or a non-empty string. BenchJson serializes
-non-finite doubles as null, so a null in a row means a bench computed
-NaN/inf for a metric it claims to track; that is exactly the regression this
-gate exists to catch.
+Three document shapes are recognized, dispatched on content:
 
-Exit status is non-zero if any file fails, so CI can run it directly over
-the glob of produced documents.
+* BenchJson (BENCH_*.json): a string "name", an object "config", a
+  non-empty list "rows" of objects; every metric value must be a finite
+  number, a bool, or a non-empty string. BenchJson serializes non-finite
+  doubles as null, so a null in a row means a bench computed NaN/inf for a
+  metric it claims to track; that is exactly the regression this gate
+  exists to catch.
+
+* Metrics snapshots ("kind": "choreo_metrics", from --metrics=PATH):
+  counters are non-negative integers, gauges are finite numbers,
+  histograms carry finite count/min/max/p50/p90/p99.
+
+* Chrome traces (top-level "traceEvents", from --trace=PATH): the event
+  array is non-empty, every complete ("ph":"X") span has finite ts/dur and
+  a name, and ts is monotone non-decreasing within each thread lane — the
+  order Tracer::to_json guarantees and trace viewers assume.
+
+Every file must parse as strict JSON (bare NaN/Infinity literals are
+rejected). Exit status is non-zero if any file fails, so CI can run it
+directly over the glob of produced documents.
 """
 
 import json
@@ -39,6 +50,69 @@ def check_value(path, key, value, errors):
         errors.append(f"{path}: {key}: unexpected type {type(value).__name__}")
 
 
+def check_metrics(path, doc):
+    errors = []
+    for section, kind in (("counters", "counter"), ("gauges", "gauge"),
+                          ("histograms", "histogram")):
+        if section not in doc:
+            errors.append(f"{path}: missing {section!r} object")
+            continue
+        if not isinstance(doc[section], dict):
+            errors.append(f"{path}: {section} must be an object")
+            continue
+        for name, value in doc[section].items():
+            where = f"{section}.{name}"
+            if kind == "counter":
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    errors.append(f"{path}: {where}: counter must be a "
+                                  f"non-negative integer, got {value!r}")
+            elif kind == "gauge":
+                check_value(path, where, value, errors)
+            else:
+                if not isinstance(value, dict):
+                    errors.append(f"{path}: {where}: histogram must be an object")
+                    continue
+                for field in ("count", "min", "max", "p50", "p90", "p99"):
+                    if field not in value:
+                        errors.append(f"{path}: {where}: missing {field!r}")
+                    else:
+                        check_value(path, f"{where}.{field}", value[field], errors)
+    return errors
+
+
+def check_trace(path, doc):
+    errors = []
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be a list"]
+    if not any(isinstance(e, dict) and e.get("ph") == "X" for e in events):
+        return [f"{path}: no complete ('ph':'X') spans — the trace is empty"]
+    last_ts = {}  # tid -> last seen ts
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"{path}: traceEvents[{i}] is not an object")
+            continue
+        if ev.get("ph") != "X":
+            continue  # metadata events carry no timeline
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{path}: traceEvents[{i}]: missing span name")
+        tid = ev.get("tid")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not math.isfinite(v) or v < 0:
+                errors.append(f"{path}: traceEvents[{i}].{field}: "
+                              f"expected finite non-negative number, got {v!r}")
+                break
+        else:
+            if tid in last_ts and ev["ts"] < last_ts[tid]:
+                errors.append(f"{path}: traceEvents[{i}]: ts {ev['ts']} goes "
+                              f"backwards within lane {tid} "
+                              f"(previous {last_ts[tid]})")
+            last_ts[tid] = ev.get("ts")
+    return errors
+
+
 def check_file(path):
     errors = []
     try:
@@ -49,6 +123,10 @@ def check_file(path):
 
     if not isinstance(doc, dict):
         return [f"{path}: top level is {type(doc).__name__}, expected object"]
+    if doc.get("kind") == "choreo_metrics":
+        return check_metrics(path, doc)
+    if "traceEvents" in doc:
+        return check_trace(path, doc)
     for key in ("name", "config", "rows"):
         if key not in doc:
             errors.append(f"{path}: missing required key {key!r}")

@@ -1,0 +1,22 @@
+// Companion TU of tbl_obs_overhead, compiled with -DCHOREO_OBS_DISABLED
+// (set in bench/CMakeLists.txt): the CHOREO_OBS_* macro sites in
+// obs_overhead_loop.h expand to nothing here, so this function is the
+// compile-time-off path the bench races against the live-macro copy in the
+// main TU.
+
+#ifndef CHOREO_OBS_DISABLED
+#error "obs_overhead_disabled_tu.cpp must be compiled with CHOREO_OBS_DISABLED"
+#endif
+
+#include "obs_overhead_loop.h"
+
+namespace choreo::bench_obs {
+
+std::uint64_t disabled_macro_loop(std::size_t iters) {
+  const obs::Observer obsv;  // irrelevant: the macros ignore their operands
+  const obs::Counter ctr;
+  const obs::Hist hist;
+  return obs_macro_loop(obsv, ctr, hist, iters);
+}
+
+}  // namespace choreo::bench_obs

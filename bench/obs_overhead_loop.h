@@ -1,0 +1,40 @@
+#pragma once
+
+// The instrumented hot loop tbl_obs_overhead times. It lives in a header
+// with *internal* linkage on purpose: the bench compiles it twice — once in
+// the main TU (macros live) and once in obs_overhead_disabled_tu.cpp built
+// with -DCHOREO_OBS_DISABLED (macros expand to nothing). Internal linkage
+// keeps the two differently-expanded copies from colliding under the ODR.
+//
+// Each iteration does the work of a typical instrumentation site — one
+// span, one sharded counter add, one histogram sample, one span arg — plus
+// a cheap integer mix whose final value every path must reproduce exactly
+// (the checksum gate: observability must not perturb the computation).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/observer.h"
+
+namespace {
+
+inline std::uint64_t obs_macro_loop(const choreo::obs::Observer& obsv,
+                                    const choreo::obs::Counter& ctr,
+                                    const choreo::obs::Hist& hist,
+                                    std::size_t iters) {
+  // All three are unused when CHOREO_OBS_DISABLED erases the macro bodies.
+  (void)obsv;
+  (void)ctr;
+  (void)hist;
+  std::uint64_t acc = 1469598103934665603ull;  // FNV offset basis
+  for (std::size_t i = 0; i < iters; ++i) {
+    CHOREO_OBS_SPAN(span, obsv, "bench.op", "bench");
+    CHOREO_OBS_ADD(ctr, obsv, (i & 7) + 1);
+    CHOREO_OBS_OBSERVE(hist, obsv, static_cast<double>((i & 1023) + 1));
+    span.arg("work", static_cast<double>(i & 15));
+    acc = (acc ^ (i * 0x9e3779b97f4a7c15ull)) * 1099511628211ull;
+  }
+  return acc;
+}
+
+}  // namespace

@@ -1,0 +1,314 @@
+// Observability overhead: proves the obs plane costs nothing when off and
+// under 5% when fully on.
+//
+// Claims enforced:
+//   1. Checksum identity: the compile-time-off (CHOREO_OBS_DISABLED TU),
+//      runtime-off (null handles) and fully-enabled copies of the same
+//      instrumented loop compute the bit-identical result of the plain
+//      uninstrumented loop — observability never perturbs the computation.
+//   2. Zero allocations once warm, pinned like micro_flowsim via a global
+//      operator-new counter: the plain, compile-time-off and runtime-off
+//      loops allocate nothing, and so does the *enabled* loop — recording
+//      into pre-resolved handles and the preallocated trace ring is
+//      allocation-free by design.
+//   3. Compile-time off is indistinguishable from the plain loop (identical
+//      machine code), gated at every optimization level; runtime-off adds
+//      at most a few ns/op of null-pointer branches, gated on optimized
+//      (NDEBUG) builds where inlining makes the bound meaningful.
+//   4. Enabled path <5%: a tbl_serve_qps-shaped load (single reader placing
+//      generated apps through PlacementService) with registry + tracer
+//      attached sustains >= 95% of the unobserved placement throughput
+//      (best-of-N trials on both sides to shed scheduler noise).
+//
+// `--smoke` shrinks the loop counts for CI; `--json[=PATH]` emits
+// BENCH_tbl_obs_overhead.json.
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+// --- Global allocation counter -------------------------------------------
+// Same interposition micro_flowsim uses: count (not forbid), read the
+// counter around the warm window only. Single-threaded bench, plain
+// counter.
+namespace {
+std::size_t g_alloc_count = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include "bench_common.h"
+#include "obs_overhead_loop.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/service.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace choreo::bench_obs {
+// Defined in obs_overhead_disabled_tu.cpp, compiled with CHOREO_OBS_DISABLED.
+std::uint64_t disabled_macro_loop(std::size_t iters);
+}  // namespace choreo::bench_obs
+
+namespace {
+
+using namespace choreo;
+using namespace choreo::bench;
+using units::mbps;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The uninstrumented integer mix obs_macro_loop wraps — the timing and
+/// checksum reference every macro path is held to.
+std::uint64_t plain_loop(std::size_t iters) {
+  std::uint64_t acc = 1469598103934665603ull;
+  for (std::size_t i = 0; i < iters; ++i) {
+    acc = (acc ^ (i * 0x9e3779b97f4a7c15ull)) * 1099511628211ull;
+  }
+  return acc;
+}
+
+struct LoopResult {
+  double ns_per_op = 0.0;     ///< best of `trials`
+  std::size_t allocs = 0;     ///< heap allocations inside the last warm trial
+  std::uint64_t checksum = 0;
+};
+
+/// Times `fn(iters)` best-of-`trials` after one warm-up run; the allocation
+/// count is read around the final (warmest) trial.
+template <typename Fn>
+LoopResult run_loop(Fn&& fn, std::size_t iters, int trials) {
+  LoopResult res;
+  res.checksum = fn(iters);  // warm-up (first-touch, lazy init)
+  double best_s = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::size_t allocs_before = g_alloc_count;
+    const auto t0 = Clock::now();
+    const std::uint64_t sum = fn(iters);
+    const double wall = seconds_since(t0);
+    res.allocs = g_alloc_count - allocs_before;
+    if (sum != res.checksum) res.checksum = ~res.checksum;  // poison on drift
+    if (t == 0 || wall < best_s) best_s = wall;
+  }
+  res.ns_per_op = best_s * 1e9 / static_cast<double>(iters);
+  return res;
+}
+
+// ---- serve-shaped load ----------------------------------------------------
+// The same fleet/app shape as tbl_serve_qps, shrunk: one reader thread, no
+// churn publisher (churn adds variance that would drown a 5% bound).
+
+place::ClusterView synthetic_fleet(Rng& rng, std::size_t machines) {
+  place::ClusterView view;
+  view.rate_bps = DoubleMatrix(machines, machines, 0.0);
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (i != j) {
+        view.rate_bps(i, j) = rng.chance(0.2) ? rng.uniform(mbps(300), mbps(900))
+                                              : rng.uniform(mbps(900), mbps(1100));
+      }
+    }
+  }
+  view.cross_traffic = DoubleMatrix(machines, machines, 0.0);
+  view.colocation_group.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) view.colocation_group[m] = static_cast<int>(m);
+  view.cores.assign(machines, 8.0);
+  return view;
+}
+
+std::vector<place::Application> query_apps(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  workload::GeneratorConfig gen;
+  gen.min_tasks = 6;
+  gen.max_tasks = 10;
+  gen.max_cpu = 1.0;
+  std::vector<place::Application> apps;
+  for (std::size_t a = 0; a < count; ++a) apps.push_back(workload::generate_app(rng, gen));
+  return apps;
+}
+
+/// One timed pass of `queries` placements; `obsv` enabled or not is the
+/// only difference between the two configurations.
+double serve_trial(serve::PlacementService& service, serve::Scratch& scratch,
+                   const std::vector<place::Application>& apps, std::size_t queries) {
+  std::size_t complete = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t q = 0; q < queries; ++q) {
+    const serve::PlacementService::Result r =
+        service.place(apps[q % apps.size()], scratch);
+    complete += r.placement.complete() ? 1 : 0;
+  }
+  const double wall = seconds_since(t0);
+  CHOREO_REQUIRE(complete == queries);
+  return wall;
+}
+
+/// Best-of-`trials` placement QPS for the off and on configurations,
+/// measured *interleaved* (off, on, off, on, ...) so frequency scaling and
+/// cache state hit both sides alike — a sequential A-then-B comparison at
+/// millisecond trial lengths is dominated by whichever thermal window it
+/// lands in.
+std::pair<double, double> serve_qps_pair(const place::ClusterView& view,
+                                         const std::vector<place::Application>& apps,
+                                         std::size_t queries, int trials,
+                                         const obs::Observer& obsv) {
+  serve::PlacementService service_off(view, place::RateModel::Hose);
+  serve::Scratch scratch_off;
+  serve::PlacementService service_on(view, place::RateModel::Hose);
+  serve::Scratch scratch_on;
+  service_on.set_observer(obsv);
+  scratch_on.set_observer(obsv);
+  serve_trial(service_off, scratch_off, apps, queries);  // warm-up
+  serve_trial(service_on, scratch_on, apps, queries);
+  double best_off = 0.0, best_on = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const double off = serve_trial(service_off, scratch_off, apps, queries);
+    const double on = serve_trial(service_on, scratch_on, apps, queries);
+    if (t == 0 || off < best_off) best_off = off;
+    if (t == 0 || on < best_on) best_on = on;
+  }
+  return {static_cast<double>(queries) / best_off,
+          static_cast<double>(queries) / best_on};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace choreo;
+  using namespace choreo::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::string json_path = json_path_from_args(argc, argv, "tbl_obs_overhead");
+  BenchJson json("tbl_obs_overhead");
+  json.config("smoke", smoke ? "true" : "false");
+
+  const std::size_t iters = smoke ? 2'000'000 : 20'000'000;
+  const int trials = smoke ? 3 : 5;
+
+  header(std::string("Macro-site cost: one span + counter + histogram per op") +
+         (smoke ? " [smoke]" : ""));
+
+  const LoopResult plain = run_loop(plain_loop, iters, trials);
+  const LoopResult compile_off =
+      run_loop(bench_obs::disabled_macro_loop, iters, trials);
+
+  const obs::Observer null_obs;
+  const LoopResult runtime_off = run_loop(
+      [&](std::size_t n) {
+        return obs_macro_loop(null_obs, obs::Counter{}, obs::Hist{}, n);
+      },
+      iters, trials);
+
+  // Enabled: a real registry shard and a preallocated trace ring. The ring
+  // is sized below `iters` on purpose — overflow must stay cheap and
+  // allocation-free too (events are counted dropped, never grown).
+  obs::Registry registry(1);
+  obs::Tracer tracer(1 << 15);
+  obs::Observer live;
+  live.metrics = &registry;
+  live.tracer = &tracer;
+  const obs::Counter live_ctr = registry.counter("bench.ops");
+  const obs::Hist live_hist = registry.histogram("bench.sample");
+  const LoopResult enabled = run_loop(
+      [&](std::size_t n) { return obs_macro_loop(live, live_ctr, live_hist, n); },
+      iters, trials);
+
+  Table t({"path", "ns/op", "allocs (warm)", "checksum"});
+  const auto add = [&](const char* path, const LoopResult& r) {
+    t.add_row({path, fmt(r.ns_per_op, 2), fmt(static_cast<double>(r.allocs), 0),
+               r.checksum == plain.checksum ? "match" : "MISMATCH"});
+    json.row()
+        .row("section", "macro_loop")
+        .row("path", path)
+        .row("ns_per_op", r.ns_per_op)
+        .row("allocs", static_cast<double>(r.allocs))
+        .row("checksum_matches", r.checksum == plain.checksum);
+  };
+  add("plain (no macro sites)", plain);
+  add("compile-time off", compile_off);
+  add("runtime off (null handles)", runtime_off);
+  add("enabled (registry+tracer)", enabled);
+  std::cout << t.to_string();
+
+  check(compile_off.checksum == plain.checksum &&
+            runtime_off.checksum == plain.checksum &&
+            enabled.checksum == plain.checksum,
+        "every macro path computes the plain loop's exact checksum");
+  check(plain.allocs == 0 && compile_off.allocs == 0 && runtime_off.allocs == 0 &&
+            enabled.allocs == 0,
+        "no macro path allocates once warm — including fully enabled "
+        "recording into the preallocated ring");
+  check(compile_off.ns_per_op <= plain.ns_per_op * 1.5 + 2.0,
+        "compile-time-off macro sites are indistinguishable from the plain "
+        "loop (the macros expand to nothing)");
+#ifdef NDEBUG
+  check(runtime_off.ns_per_op <= plain.ns_per_op + 10.0,
+        "runtime-off macro sites cost at most a few ns/op of null checks");
+#else
+  std::cout << "  [SKIP] runtime-off ns/op bound needs an optimized (NDEBUG) "
+               "build\n";
+#endif
+
+  header(std::string("Serving-plane load: placement QPS, observer off vs on") +
+         (smoke ? " [smoke]" : ""));
+
+  const std::size_t machines = 100;
+  const std::size_t queries = smoke ? 1000 : 2000;
+  const int serve_trials = smoke ? 7 : 11;
+  Rng rng(machines * 1000 + 7);
+  const place::ClusterView view = synthetic_fleet(rng, machines);
+  const std::vector<place::Application> apps = query_apps(42, 64);
+
+  obs::Registry serve_registry(1);
+  obs::Tracer serve_tracer(1 << 15);
+  obs::Observer serve_obs;
+  serve_obs.metrics = &serve_registry;
+  serve_obs.tracer = &serve_tracer;
+
+  const auto [qps_off, qps_on] =
+      serve_qps_pair(view, apps, queries, serve_trials, serve_obs);
+  const double overhead_pct = 100.0 * (1.0 - qps_on / qps_off);
+
+  Table s({"config", "QPS (best of trials)"});
+  s.add_row({"observer off", fmt(qps_off, 0)});
+  s.add_row({"observer on", fmt(qps_on, 0)});
+  std::cout << s.to_string();
+  std::cout << "enabled overhead: " << fmt(overhead_pct, 2) << "%\n";
+  json.row()
+      .row("section", "serve_load")
+      .row("machines", static_cast<double>(machines))
+      .row("queries", static_cast<double>(queries))
+      .row("qps_off", qps_off)
+      .row("qps_on", qps_on)
+      .row("overhead_pct", overhead_pct);
+
+  check(qps_on >= 0.95 * qps_off,
+        "full registry+tracer instrumentation costs < 5% placement "
+        "throughput on the serve-shaped load");
+
+  // The enabled run actually recorded: the serve counters moved and the
+  // ring holds spans (a silent no-op would pass every timing gate).
+  const obs::MetricsSnapshot snap = serve_registry.snapshot();
+  const obs::MetricsSnapshot::CounterValue* q = snap.find_counter("serve.queries");
+  check(q != nullptr && q->value > 0 && serve_tracer.size() > 0,
+        "the enabled configuration recorded real metrics and spans");
+
+  if (!json_path.empty()) json.write(json_path);
+  return finish();
+}

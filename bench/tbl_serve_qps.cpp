@@ -20,12 +20,14 @@
 // `--smoke` shrinks the sweep for CI; `--json[=PATH]` additionally emits the
 // machine-readable BENCH_tbl_serve_qps.json.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "place/greedy.h"
 #include "place/ilp.h"
 #include "place/rate_model.h"
@@ -76,13 +78,37 @@ std::vector<place::Application> query_apps(std::uint64_t seed, std::size_t count
 
 struct QpsResult {
   double qps = 0.0;
-  double p50_us = 0.0;
+  double p50_us = 0.0;  ///< from the obs histogram (bucket midpoint)
   double p99_us = 0.0;
+  double exact_p50_us = 0.0;  ///< from the full sorted latency vector
+  double exact_p99_us = 0.0;
   std::uint64_t refreshes = 0;   ///< scratch rebuilds across all threads
   std::uint64_t publishes = 0;   ///< view swaps the churn thread got in
   bool complete = true;          ///< every query returned a full placement
   bool epochs_valid = true;      ///< every recorded epoch was 1..last
+  bool hist_within_bucket = true;  ///< hist p50/p99 within one bucket of exact
 };
+
+/// The exact quantile under the histogram's rank rule: the ceil(q*n)-th
+/// smallest sample. (util::percentile interpolates between order statistics,
+/// a different rule — the one-bucket resolution bound only holds rank
+/// against rank.)
+double exact_rank_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(q * static_cast<double>(values.size()));
+  const std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return values[std::min(idx, values.size() - 1)];
+}
+
+/// A histogram quantile is "within one bucket" of the exact sorted-sample
+/// quantile when the two values land in the same or adjacent log buckets —
+/// the resolution bound Hist documents (pinned again in test_obs_registry).
+bool within_one_bucket(double hist_value, double exact_value) {
+  const std::size_t bh = obs::Hist::bucket_of(hist_value);
+  const std::size_t be = obs::Hist::bucket_of(exact_value);
+  return bh <= be + 1 && be <= bh + 1;
+}
 
 /// Runs `threads` reader threads for `queries_per_thread` placements each
 /// against one service, while (optionally) a churn thread republishes
@@ -93,6 +119,12 @@ QpsResult run_qps(const place::ClusterView& base,
                   std::size_t queries_per_thread, bool churn) {
   serve::PlacementService service(base, place::RateModel::Hose);
   QpsResult res;
+
+  // Per-reader-shard latency histogram: the p50/p99 the table reports come
+  // from here, not from sorting the raw vector (which is kept only to pin
+  // the histogram's one-bucket resolution bound).
+  obs::Registry registry(static_cast<std::uint32_t>(threads));
+  const obs::Hist lat_hist = registry.histogram("serve.latency_us");
 
   std::atomic<bool> stop{false};
   std::thread publisher;
@@ -126,7 +158,9 @@ QpsResult run_qps(const place::ClusterView& base,
         const auto q0 = std::chrono::steady_clock::now();
         const serve::PlacementService::Result r = service.place(app, scratch);
         const auto q1 = std::chrono::steady_clock::now();
-        lat_us[t].push_back(std::chrono::duration<double, std::micro>(q1 - q0).count());
+        const double us = std::chrono::duration<double, std::micro>(q1 - q0).count();
+        lat_us[t].push_back(us);
+        lat_hist.observe(us, static_cast<std::uint32_t>(t));
         if (!r.placement.complete()) incomplete.fetch_add(1, std::memory_order_relaxed);
         if (r.epoch == 0) bad_epoch.fetch_add(1, std::memory_order_relaxed);
       }
@@ -143,8 +177,15 @@ QpsResult run_qps(const place::ClusterView& base,
   std::vector<double> all;
   for (const auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
   res.qps = static_cast<double>(threads * queries_per_thread) / wall_s;
-  res.p50_us = percentile(all, 0.50);
-  res.p99_us = percentile(all, 0.99);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const obs::MetricsSnapshot::HistValue* hv = snap.find_hist("serve.latency_us");
+  res.p50_us = hv ? hv->p50 : 0.0;
+  res.p99_us = hv ? hv->p99 : 0.0;
+  res.exact_p50_us = exact_rank_quantile(all, 0.50);
+  res.exact_p99_us = exact_rank_quantile(all, 0.99);
+  res.hist_within_bucket = hv != nullptr && hv->count == all.size() &&
+                           within_one_bucket(res.p50_us, res.exact_p50_us) &&
+                           within_one_bucket(res.p99_us, res.exact_p99_us);
   for (std::uint64_t r : refreshes) res.refreshes += r;
   res.publishes = publishes.load();
   res.complete = incomplete.load() == 0;
@@ -271,7 +312,7 @@ int main(int argc, char** argv) {
   const std::vector<place::Application> apps = query_apps(42, 64, 6, 10);
 
   Table t({"VMs", "threads", "QPS", "p50 (us)", "p99 (us)", "swaps", "refreshes"});
-  bool complete_ok = true, epoch_ok = true;
+  bool complete_ok = true, epoch_ok = true, hist_ok = true;
   double qps_1t_100 = 0.0, qps_4t_100 = 0.0;
 
   for (std::size_t n : fleet_sizes) {
@@ -292,6 +333,7 @@ int main(int argc, char** argv) {
                                   /*churn=*/true);
       complete_ok &= r.complete;
       epoch_ok &= r.epochs_valid;
+      hist_ok &= r.hist_within_bucket;
       if (n == 100 && threads == 1) qps_1t_100 = r.qps;
       if (n == 100 && threads == 4) qps_4t_100 = r.qps;
       t.add_row({fmt(static_cast<double>(n), 0), fmt(static_cast<double>(threads), 0),
@@ -305,6 +347,8 @@ int main(int argc, char** argv) {
           .row("qps", r.qps)
           .row("p50_us", r.p50_us)
           .row("p99_us", r.p99_us)
+          .row("exact_p50_us", r.exact_p50_us)
+          .row("exact_p99_us", r.exact_p99_us)
           .row("view_swaps", static_cast<double>(r.publishes))
           .row("scratch_refreshes", static_cast<double>(r.refreshes));
     }
@@ -315,6 +359,9 @@ int main(int argc, char** argv) {
   check(epoch_ok,
         "snapshot epochs are valid and scratch arenas refresh at most once per "
         "published epoch");
+  check(hist_ok,
+        "obs histogram p50/p99 land within one log bucket of the exact "
+        "sorted-sample quantiles at every (fleet, threads) point");
 
   if (!smoke && std::thread::hardware_concurrency() >= 8) {
     std::cout << "4-thread vs 1-thread QPS at 100 VMs: " << fmt(qps_4t_100 / qps_1t_100, 2)

@@ -8,7 +8,13 @@
 //   choreo_sim --mode session --tenants 3 --vms 8 --duration-hours 12 --bursty
 //   choreo_sim --mode session --tenants 8 --threads 4   # sharded, same output
 //   choreo_sim --mode agents --vms 20 --cycles 8 --loss 0.2 --crash-rate 0.02
+//   choreo_sim --mode session --agents --batch --trace=trace.json --metrics=m.json
 //   choreo_sim --help
+//
+// --trace=PATH writes a Chrome trace-event JSON (load it at ui.perfetto.dev)
+// with one lane per tenant; --metrics=PATH dumps the obs registry snapshot.
+// Either flag also runs an executed-transfer spot check after a session so
+// the trace covers the flowsim plane end to end.
 //
 // --mode session drives the discrete-event core::SessionRuntime: N tenants
 // on disjoint VM slices of one cloud, each streaming a diurnal trace
@@ -28,6 +34,7 @@
 #include "core/controller.h"
 #include "core/sharded.h"
 #include "measure/throughput_matrix.h"
+#include "obs/observer.h"
 #include "place/baselines.h"
 #include "place/greedy.h"
 #include "place/ilp.h"
@@ -92,6 +99,16 @@ int main(int argc, char** argv) {
   args.add_option("crash-rate", "0", "agents mode: per-agent crash probability/cycle");
   args.add_option("report-budget", "0",
                   "agents mode: max samples per StatsReport (0 = unlimited)");
+  args.add_option("trace", "",
+                  "write a Chrome trace-event JSON of the run to this path "
+                  "(open in Perfetto)");
+  args.add_option("metrics", "",
+                  "write the metrics-registry snapshot JSON to this path");
+  args.add_flag("agents",
+                "session mode: measure through the distributed agent plane "
+                "(--loss/--crash-rate etc. apply per tenant)");
+  args.add_flag("batch",
+                "session mode: batched joint placement of queued arrivals");
   args.add_flag("bursty", "session mode: MMPP-modulate the arrival process");
   args.add_flag("forecast",
                 "enable the forecast plane: predictability-driven refresh + "
@@ -120,6 +137,31 @@ int main(int argc, char** argv) {
   const auto vms = cloud.allocate_vms(n_vms);
   std::cout << "provider " << cloud.profile().name << ", " << n_vms << " VMs, seed "
             << seed << "\n";
+
+  // Observability plane: a sharded registry (counter totals merge
+  // deterministically) and/or a ring-buffered tracer, attached to every
+  // plane the chosen mode drives. Lane 0 is the driver; tenants get their
+  // own lanes below.
+  constexpr std::uint32_t kObsShards = 16;
+  const std::string trace_path = args.get("trace");
+  const std::string metrics_path = args.get("metrics");
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::Tracer> tracer;
+  obs::Observer obsv;
+  if (!metrics_path.empty()) {
+    registry = std::make_unique<obs::Registry>(kObsShards);
+    obsv.metrics = registry.get();
+  }
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<obs::Tracer>(std::size_t{1} << 18);
+    tracer->set_lane_name(0, "driver");
+    obsv.tracer = tracer.get();
+  }
+  if (obsv.enabled()) cloud.set_observer(obsv);
+  const auto write_obs = [&] {
+    if (registry) registry->snapshot().write_json(metrics_path);
+    if (tracer) tracer->write_json(trace_path);
+  };
 
   measure::MeasurementPlan plan;
   plan.train.bursts = 10;
@@ -161,6 +203,7 @@ int main(int argc, char** argv) {
       std::cout << "executed completion:  " << fmt(result.makespan_s, 2) << " s ("
                 << transfers.size() << " transfers)\n";
     }
+    write_obs();
     return 0;
   }
 
@@ -184,6 +227,8 @@ int main(int argc, char** argv) {
     config.choreo.rate_model = model;
     config.choreo.use_measured_view = !args.get_flag("truth");
     config.choreo.forecast.enabled = args.get_flag("forecast");
+    config.choreo.obs = obsv.with_lane(1, 1 % kObsShards);
+    if (tracer) tracer->set_lane_name(1, "controller");
     core::Controller controller(cloud, vms, config);
     const core::SessionLog log = controller.run(apps);
 
@@ -197,6 +242,7 @@ int main(int argc, char** argv) {
               << log.reevaluations_adopted << " adopted, " << log.tasks_migrated
               << " tasks migrated)\n";
     print_probe_mix(log);
+    write_obs();
     return 0;
   }
 
@@ -237,6 +283,20 @@ int main(int argc, char** argv) {
       spec.config.choreo.rate_model = model;
       spec.config.choreo.use_measured_view = !args.get_flag("truth");
       spec.config.choreo.forecast.enabled = args.get_flag("forecast");
+      if (args.get_flag("batch")) spec.config.batch.enabled = true;
+      if (args.get_flag("agents")) {
+        spec.config.agents.enabled = true;
+        spec.config.agents.transport.seed = seed * 17 + 3 + i;
+        spec.config.agents.transport.fault.loss = args.get_double("loss");
+        spec.config.agents.transport.fault.duplicate = args.get_double("duplicate");
+        spec.config.agents.transport.fault.delay_max_cycles =
+            static_cast<std::uint32_t>(args.get_int("delay-max"));
+        spec.config.agents.crash_rate = args.get_double("crash-rate");
+        spec.config.agents.crash_seed = seed + 11 + i;
+      }
+      const auto lane = static_cast<std::uint32_t>(1 + i);
+      spec.config.choreo.obs = obsv.with_lane(lane, lane % kObsShards);
+      if (tracer) tracer->set_lane_name(lane, "tenant" + std::to_string(i));
       spec.stream = source;
       tenants.push_back(std::move(spec));
     }
@@ -255,6 +315,7 @@ int main(int argc, char** argv) {
       core::ShardedOptions sharded;
       sharded.threads = n_threads;
       sharded.shards = static_cast<std::size_t>(args.get_int("shards"));
+      sharded.obs = obsv;
       core::ShardedSession session(cloud, std::move(tenants), sharded);
       result = session.run();
       tenant_stats = session.tenant_stats();
@@ -293,6 +354,47 @@ int main(int argc, char** argv) {
               << " processed; peak runtime state (events+apps): " << peak_state
               << "\n";
     print_probe_mix(agg);
+
+    if (obsv.enabled()) {
+      // Executed-transfer spot check: place a small sampled batch on ground
+      // truth and run its transfers through the fluid simulator — the
+      // estimated-vs-executed cross-check, and the reason a traced session
+      // also covers the flowsim plane.
+      const workload::HpCloudTrace trace(seed * 7 + 5, workload::TraceConfig{});
+      Rng rng(seed * 11 + 3);
+      const place::ClusterView view = measure::true_cluster_view(cloud, vms, seed);
+      place::GreedyPlacer greedy(model);
+      // Step the batch down until the joint application fits the fleet.
+      for (std::size_t batch = 3; batch >= 1; --batch) {
+        const place::Application combined =
+            place::combine(trace.sample_batch(rng, batch));
+        place::ClusterState state(view);
+        place::Placement placement;
+        try {
+          placement = greedy.place(combined, state);
+        } catch (const place::PlacementError&) {
+          continue;
+        }
+        std::vector<cloud::Cloud::Transfer> transfers;
+        for (std::size_t i = 0; i < combined.task_count(); ++i) {
+          for (std::size_t j = 0; j < combined.task_count(); ++j) {
+            const double b = combined.traffic_bytes(i, j);
+            if (b <= 0.0) continue;
+            transfers.push_back({vms[placement.machine_of_task[i]],
+                                 vms[placement.machine_of_task[j]], b, 0.0});
+          }
+        }
+        if (transfers.empty()) continue;
+        const double est =
+            place::estimate_completion_s(combined, placement, view, model);
+        const auto exec = cloud.execute(transfers, seed + 1);
+        std::cout << "flowsim spot-check: estimated " << fmt(est, 2)
+                  << " s, executed " << fmt(exec.makespan_s, 2) << " s ("
+                  << transfers.size() << " transfers)\n";
+        break;
+      }
+    }
+    write_obs();
     return 0;
   }
 
@@ -312,6 +414,7 @@ int main(int argc, char** argv) {
     forecast::ForecastOptions forecast;
     forecast.enabled = args.get_flag("forecast");
     agent::AgentPlane plane(cloud, vms, plan, refresh, forecast, opts, model);
+    if (obsv.enabled()) plane.set_observer(obsv);
 
     const auto n_cycles = static_cast<std::uint64_t>(args.get_int("cycles"));
     Table t({"epoch", "planned", "probed", "missing", "defaulted", "reports",
@@ -339,6 +442,7 @@ int main(int argc, char** argv) {
               << " duplicates, " << s.cluster.stale_generation_dropped
               << " stale-generation reports, re-synced " << s.cluster.resyncs
               << " incarnations\n";
+    write_obs();
     return 0;
   }
 

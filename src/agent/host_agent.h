@@ -48,9 +48,19 @@ class HostAgent {
     return !queue_.empty() || !pending_.empty() || hello_pending_;
   }
 
-  /// Crash now: the inbox, sample queue, and in-flight unacked reports are
-  /// all lost. The agent restarts `options.down_cycles` cycles later with
-  /// generation + 1 and seq reset to 0.
+  /// Invoked from crash() with the dying incarnation's counters, before
+  /// they are wiped with the rest of the volatile state. The plane installs
+  /// one per host to fold pre-crash activity into its durable accounting —
+  /// without a sink those counters are simply lost (as they would be on a
+  /// real host whose process died).
+  using CrashSink = std::function<void(const Stats&)>;
+  void set_crash_sink(CrashSink sink) { crash_sink_ = std::move(sink); }
+
+  /// Crash now: the inbox, sample queue, in-flight unacked reports, AND the
+  /// in-memory counters are all lost (after the crash sink, if any, sees
+  /// them). The agent restarts `options.down_cycles` cycles later with
+  /// generation + 1 and seq reset to 0; the crash event itself is counted
+  /// on the fresh incarnation's stats.
   void crash(std::uint64_t cycle);
 
   /// Handles one delivered message (ProbeRequest / Ack / HelloAck).
@@ -88,7 +98,8 @@ class HostAgent {
 
   std::deque<proto::RateSample> queue_;  ///< measured, not yet packed
   std::vector<PendingReport> pending_;   ///< sent, not yet acked
-  Stats stats_;
+  Stats stats_;  ///< this incarnation only — crash() wipes it via the sink
+  CrashSink crash_sink_;
 };
 
 }  // namespace choreo::agent

@@ -42,6 +42,31 @@ AgentPlane::AgentPlane(cloud::Cloud& cloud, std::vector<std::size_t> vms,
                           return execute_probe(src, dst, round, epoch);
                         });
   }
+  // A crashing host loses its in-memory counters; the sink folds them into
+  // the plane's durable accounting first, so plane totals are conserved.
+  for (HostAgent& h : hosts_) {
+    h.set_crash_sink([this](const HostAgent::Stats& dying) {
+      durable_.probes_run += dying.probes_run;
+      durable_.reports_sent += dying.reports_sent;
+      durable_.retransmits += dying.retransmits;
+      durable_.crashes += dying.crashes;
+      durable_.restarts += dying.restarts;
+      durable_.samples_deferred += dying.samples_deferred;
+    });
+  }
+}
+
+void AgentPlane::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  handles_.cycles = o.counter("agent.cycles");
+  handles_.probes_run = o.counter("agent.probes_run");
+  handles_.reports_sent = o.counter("agent.reports_sent");
+  handles_.retransmits = o.counter("agent.retransmits");
+  handles_.crashes = o.counter("agent.crashes");
+  handles_.restarts = o.counter("agent.restarts");
+  handles_.wire_bytes = o.counter("agent.wire_bytes");
+  handles_.msgs_dropped = o.counter("agent.msgs_dropped");
+  prev_ = stats();
 }
 
 double AgentPlane::execute_probe(std::uint32_t src, std::uint32_t dst,
@@ -67,6 +92,7 @@ void AgentPlane::crash_agent(std::uint32_t id) {
 }
 
 ClusterAgent::CycleReport AgentPlane::run_cycle(std::uint64_t epoch) {
+  CHOREO_OBS_SPAN(span, obs_, "agent.cycle", "agent");
   ++cycle_;
   snapshots_.clear();
 
@@ -107,13 +133,37 @@ ClusterAgent::CycleReport AgentPlane::run_cycle(std::uint64_t epoch) {
     }
   }
 
-  return cluster_.end_cycle(epoch);
+  ClusterAgent::CycleReport report = cluster_.end_cycle(epoch);
+
+  // Scrape this cycle's activity as deltas of the conserved plane totals.
+  const Stats now = stats();
+  CHOREO_OBS_INC(handles_.cycles, obs_);
+  CHOREO_OBS_ADD(handles_.probes_run, obs_, now.probes_run - prev_.probes_run);
+  CHOREO_OBS_ADD(handles_.reports_sent, obs_, now.reports_sent - prev_.reports_sent);
+  CHOREO_OBS_ADD(handles_.retransmits, obs_, now.retransmits - prev_.retransmits);
+  CHOREO_OBS_ADD(handles_.crashes, obs_, now.crashes - prev_.crashes);
+  CHOREO_OBS_ADD(handles_.restarts, obs_, now.restarts - prev_.restarts);
+  CHOREO_OBS_ADD(handles_.wire_bytes, obs_,
+                 now.transport.bytes_sent - prev_.transport.bytes_sent);
+  CHOREO_OBS_ADD(handles_.msgs_dropped, obs_,
+                 now.transport.dropped - prev_.transport.dropped);
+  span.arg("probes", static_cast<double>(now.probes_run - prev_.probes_run));
+  span.arg("retransmits", static_cast<double>(now.retransmits - prev_.retransmits));
+  span.arg("pairs_missing", static_cast<double>(report.pairs_missing));
+  prev_ = now;
+  return report;
 }
 
 AgentPlane::Stats AgentPlane::stats() const {
   Stats s;
   s.transport = transport_.stats();
   s.cluster = cluster_.stats();
+  s.probes_run = durable_.probes_run;
+  s.reports_sent = durable_.reports_sent;
+  s.retransmits = durable_.retransmits;
+  s.crashes = durable_.crashes;
+  s.restarts = durable_.restarts;
+  s.samples_deferred = durable_.samples_deferred;
   for (const HostAgent& h : hosts_) {
     s.probes_run += h.stats().probes_run;
     s.reports_sent += h.stats().reports_sent;

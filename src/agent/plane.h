@@ -9,6 +9,7 @@
 #include "agent/options.h"
 #include "cloud/cloud.h"
 #include "net/transport.h"
+#include "obs/observer.h"
 #include "place/cluster.h"
 
 namespace choreo::agent {
@@ -60,9 +61,16 @@ class AgentPlane {
   /// Forget every cached pair estimate (the non-incremental measure path).
   void reset_cache() { cluster_.reset_cache(); }
 
-  /// Aggregated counters across the transport, the controller, and all
-  /// host agents.
+  /// Aggregated counters across the transport, the controller, all live
+  /// host-agent incarnations, and the durable fold of every crashed
+  /// incarnation's pre-crash activity (the crash sinks) — so totals are
+  /// conserved across crashes (pinned by test_agent_faults).
   Stats stats() const;
+
+  /// Attaches the observability plane: per-cycle "agent.cycle" spans and
+  /// agent.* counter deltas land in `o`'s tracer/registry. Safe to call
+  /// any time; a null observer detaches.
+  void set_observer(const obs::Observer& o);
 
  private:
   double execute_probe(std::uint32_t src, std::uint32_t dst, std::uint32_t round,
@@ -83,6 +91,18 @@ class AgentPlane {
   /// memoization: traffic_snapshot is a deterministic pure function, so
   /// sharing changes nothing.
   std::map<std::uint64_t, cloud::Cloud::TrafficSnapshot> snapshots_;
+
+  /// Host-agent counters salvaged by the crash sinks: the sum of every dead
+  /// incarnation's stats. stats() adds this to the live hosts' sums.
+  HostAgent::Stats durable_;
+
+  obs::Observer obs_;
+  struct ObsHandles {
+    obs::Counter cycles, probes_run, reports_sent, retransmits;
+    obs::Counter crashes, restarts, wire_bytes, msgs_dropped;
+  };
+  ObsHandles handles_;
+  Stats prev_;  ///< stats() at the end of the previous cycle (delta scraping)
 };
 
 }  // namespace choreo::agent

@@ -375,9 +375,19 @@ std::vector<std::vector<packetsim::RecordingSink::Record>> Cloud::run_train_roun
   return out;
 }
 
+void Cloud::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  obs_handles_.executes = o.counter("flowsim.executes");
+  obs_handles_.flows = o.counter("flowsim.flows");
+  obs_handles_.recomputes = o.counter("flowsim.recomputes");
+  obs_handles_.waterfill_rounds = o.counter("flowsim.waterfill_rounds");
+  obs_handles_.reallocations = o.counter("flowsim.reallocations");
+}
+
 Cloud::ExecResult Cloud::execute(const std::vector<Transfer>& transfers,
                                  std::uint64_t epoch) {
   CHOREO_REQUIRE(!transfers.empty());
+  CHOREO_OBS_SPAN(span, obs_, "flowsim.execute", "flowsim");
   auto bundle = make_sim(epoch);
   // Transfers finish exactly once and are never queried for routes again, so
   // let the sim release their storage as they complete — large batches (and
@@ -414,6 +424,17 @@ Cloud::ExecResult Cloud::execute(const std::vector<Transfer>& transfers,
   }
   result.makespan_s = 0.0;
   for (double c : result.completion_s) result.makespan_s = std::max(result.makespan_s, c);
+
+  // The bundle is local to this call, so its kernel counters ARE the deltas.
+  const flowsim::MaxMinKernel::Stats& ks = bundle->sim.kernel_stats();
+  CHOREO_OBS_INC(obs_handles_.executes, obs_);
+  CHOREO_OBS_ADD(obs_handles_.flows, obs_, live.size());
+  CHOREO_OBS_ADD(obs_handles_.recomputes, obs_, ks.recomputes);
+  CHOREO_OBS_ADD(obs_handles_.waterfill_rounds, obs_, ks.waterfill_rounds);
+  CHOREO_OBS_ADD(obs_handles_.reallocations, obs_, bundle->sim.reallocations());
+  span.arg("flows", static_cast<double>(live.size()));
+  span.arg("recomputes", static_cast<double>(ks.recomputes));
+  span.sim(transfers.front().start_s, result.makespan_s - transfers.front().start_s);
   return result;
 }
 

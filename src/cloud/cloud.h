@@ -10,6 +10,7 @@
 #include "cloud/profile.h"
 #include "flowsim/sim.h"
 #include "net/routing.h"
+#include "obs/observer.h"
 #include "net/topology.h"
 #include "packetsim/event_queue.h"
 #include "packetsim/path.h"
@@ -148,6 +149,13 @@ class Cloud {
   /// by the placement algorithm and the traffic matrix" on live EC2.
   ExecResult execute(const std::vector<Transfer>& transfers, std::uint64_t epoch);
 
+  /// Attaches the observability plane to execute(): per-call
+  /// "flowsim.execute" spans and flowsim.* kernel counters (recompute
+  /// scope, waterfill rounds, reallocations). execute() may run on several
+  /// threads at once — counter adds are atomic and spans commit lock-free,
+  /// so attaching an observer never serializes callers.
+  void set_observer(const obs::Observer& o);
+
   /// Noise-free fair-share rate a fresh probe src->dst would get right now.
   double true_path_rate_bps(VmId src, VmId dst, std::uint64_t epoch);
 
@@ -196,6 +204,12 @@ class Cloud {
   Rng alloc_rng_;
   Rng noise_rng_;
   std::uint64_t epoch_counter_ = 1;
+
+  obs::Observer obs_;
+  struct ObsHandles {
+    obs::Counter executes, flows, recomputes, waterfill_rounds, reallocations;
+  };
+  ObsHandles obs_handles_;
 };
 
 }  // namespace choreo::cloud

@@ -13,11 +13,34 @@ Choreo::Choreo(cloud::Cloud& cloud, std::vector<cloud::VmId> vms, ChoreoConfig c
     : cloud_(cloud), vms_(std::move(vms)), config_(std::move(config)),
       greedy_(config_.rate_model), policy_(config_.forecast) {
   CHOREO_REQUIRE(vms_.size() >= 2);
+  const obs::Observer& o = config_.obs;
+  obs_.measure_cycles = o.counter("measure.cycles");
+  obs_.pairs_probed = o.counter("measure.pairs_probed");
+  obs_.rounds = o.counter("measure.rounds");
+  obs_.refresh_never = o.counter("measure.refresh_never");
+  obs_.refresh_stale = o.counter("measure.refresh_stale");
+  obs_.refresh_volatile = o.counter("measure.refresh_volatile");
+  obs_.pairs_predicted = o.counter("measure.pairs_predicted");
+  obs_.apps_placed = o.counter("place.apps");
+  obs_.candidates_walked = o.counter("place.candidates_walked");
+  obs_.txn_ops = o.counter("place.txn_ops");
+  obs_.reevals = o.counter("place.reevals");
+  obs_.tasks_migrated = o.counter("place.tasks_migrated");
 }
 
 Choreo::~Choreo() = default;
 
+void Choreo::scrape_engine_counters() {
+  if (!state_) return;
+  const place::PlacementEngine::Counters& c = state_->engine().counters();
+  CHOREO_OBS_ADD(obs_.candidates_walked, config_.obs,
+                 c.candidates_walked - engine_seen_.candidates_walked);
+  CHOREO_OBS_ADD(obs_.txn_ops, config_.obs, c.txn_ops - engine_seen_.txn_ops);
+  engine_seen_ = c;
+}
+
 double Choreo::measure_network(std::uint64_t epoch) {
+  CHOREO_OBS_SPAN(span, config_.obs, "measure.cycle", "measure");
   place::ClusterView view;
   last_measure_ = MeasureReport{};
   if (config_.use_measured_view && config_.agents.enabled) {
@@ -28,6 +51,7 @@ double Choreo::measure_network(std::uint64_t epoch) {
       plane_ = std::make_unique<agent::AgentPlane>(cloud_, vms_, config_.plan,
                                                    config_.refresh, config_.forecast,
                                                    config_.agents, config_.rate_model);
+      plane_->set_observer(config_.obs);
     }
     if (!config_.incremental_refresh) plane_->reset_cache();
     agent::ClusterAgent::CycleReport rep = plane_->run_cycle(epoch);
@@ -102,8 +126,22 @@ double Choreo::measure_network(std::uint64_t epoch) {
       fresh->commit(entry.app, entry.placement);
     }
     state_ = std::move(fresh);
+    // Fresh state means a fresh engine whose counters restart at zero;
+    // re-baseline so the next scrape's delta doesn't wrap.
+    engine_seen_ = state_->engine().counters();
   }
   measured_ = true;
+
+  CHOREO_OBS_INC(obs_.measure_cycles, config_.obs);
+  CHOREO_OBS_ADD(obs_.pairs_probed, config_.obs, last_measure_.pairs_probed);
+  CHOREO_OBS_ADD(obs_.rounds, config_.obs, last_measure_.rounds);
+  CHOREO_OBS_ADD(obs_.refresh_never, config_.obs, last_measure_.never_measured);
+  CHOREO_OBS_ADD(obs_.refresh_stale, config_.obs, last_measure_.stale);
+  CHOREO_OBS_ADD(obs_.refresh_volatile, config_.obs, last_measure_.volatile_pairs);
+  CHOREO_OBS_ADD(obs_.pairs_predicted, config_.obs, last_measure_.predicted_pairs);
+  span.arg("pairs_probed", static_cast<double>(last_measure_.pairs_probed));
+  span.arg("rounds", static_cast<double>(last_measure_.rounds));
+  span.arg("incremental", last_measure_.incremental ? 1.0 : 0.0);
   return last_measure_.wall_time_s;
 }
 
@@ -124,8 +162,12 @@ Choreo::AppHandle Choreo::place_application(const place::Application& app) {
 Choreo::AppHandle Choreo::place_application(const place::Application& app,
                                             place::Placer& placer) {
   CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  CHOREO_OBS_SPAN(span, config_.obs, "place.app", "place");
+  span.arg("tasks", static_cast<double>(app.task_count()));
   const place::Placement placement = placer.place(app, *state_);
   state_->commit(app, placement);
+  CHOREO_OBS_INC(obs_.apps_placed, config_.obs);
+  scrape_engine_counters();
   const AppHandle handle = next_handle_++;
   running_.emplace(handle, RunningApp{app, placement});
   return handle;
@@ -171,8 +213,10 @@ double Choreo::estimated_total_completion(
 
 Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
   CHOREO_REQUIRE_MSG(measured_, "call measure_network() first");
+  CHOREO_OBS_SPAN(span, config_.obs, "place.reeval", "place");
   ReevalReport report;
   report.apps_considered = running_.size();
+  CHOREO_OBS_INC(obs_.reevals, config_.obs);
   if (running_.empty()) return report;
 
   // Refresh the network picture first (§2.4: "Choreo re-measures the
@@ -196,10 +240,19 @@ Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
   place::ClusterState scratch = state_->clone_unoccupied();
   std::map<AppHandle, place::Placement> proposal;
   place::GreedyPlacer greedy(config_.rate_model);
+  const place::PlacementEngine::Counters scratch_base = scratch.engine().counters();
   for (const auto& [handle, entry] : running_) {
     const place::Placement p = greedy.place(entry.app, scratch);
     scratch.commit(entry.app, p);
     proposal.emplace(handle, p);
+  }
+  {
+    // The scratch engine's search effort is real work; fold its deltas in
+    // (the scratch clone inherits the parent's counter totals).
+    const place::PlacementEngine::Counters& sc = scratch.engine().counters();
+    CHOREO_OBS_ADD(obs_.candidates_walked, config_.obs,
+                   sc.candidates_walked - scratch_base.candidates_walked);
+    CHOREO_OBS_ADD(obs_.txn_ops, config_.obs, sc.txn_ops - scratch_base.txn_ops);
   }
   std::vector<std::pair<const place::Application*, const place::Placement*>> proposed;
   std::size_t moved = 0;
@@ -228,7 +281,11 @@ Choreo::ReevalReport Choreo::reevaluate(std::uint64_t epoch) {
     }
     report.adopted = true;
     report.tasks_migrated = moved;
+    CHOREO_OBS_ADD(obs_.tasks_migrated, config_.obs, moved);
   }
+  span.arg("apps", static_cast<double>(report.apps_considered));
+  span.arg("tasks_to_move", static_cast<double>(report.tasks_to_move));
+  span.arg("adopted", report.adopted ? 1.0 : 0.0);
   return report;
 }
 

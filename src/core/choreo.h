@@ -9,7 +9,9 @@
 #include "cloud/cloud.h"
 #include "forecast/predictive_policy.h"
 #include "measure/throughput_matrix.h"
+#include "obs/observer.h"
 #include "place/cluster.h"
+#include "place/engine.h"
 #include "place/greedy.h"
 #include "place/placer.h"
 
@@ -58,6 +60,11 @@ struct ChoreoConfig {
   /// the controller places against a stale-or-partial view with forecast
   /// fill over the gaps. Ignored when use_measured_view is false.
   agent::AgentOptions agents;
+  /// Observability plane attachment (src/obs): a null observer (the
+  /// default) keeps every instrumentation site a no-op branch. Multi-tenant
+  /// drivers hand each tenant `obs.with_lane(tenant, shard)` so traces
+  /// separate by lane while counter totals merge deterministically.
+  obs::Observer obs;
 };
 
 /// The Choreo system (§2): measure the network between the tenant's VMs,
@@ -213,6 +220,10 @@ class Choreo {
                                                     double start_s) const;
 
  private:
+  /// Adds the live engine's counter deltas (since last scrape) to the
+  /// registry. Called after every placement-producing operation.
+  void scrape_engine_counters();
+
   double estimated_total_completion(
       const std::vector<std::pair<const place::Application*, const place::Placement*>>&
           plan) const;
@@ -238,6 +249,18 @@ class Choreo {
   /// bypassed.
   std::unique_ptr<agent::AgentPlane> plane_;
   MeasureReport last_measure_;
+
+  /// obs registry handles, resolved once at construction (inert when
+  /// config.obs carries no registry). Engine counters are scraped as deltas
+  /// after each placement, so clones/rebuilds never double-count.
+  struct ObsHandles {
+    obs::Counter measure_cycles, pairs_probed, rounds;
+    obs::Counter refresh_never, refresh_stale, refresh_volatile, pairs_predicted;
+    obs::Counter apps_placed, candidates_walked, txn_ops;
+    obs::Counter reevals, tasks_migrated;
+  };
+  ObsHandles obs_;
+  place::PlacementEngine::Counters engine_seen_;
 };
 
 }  // namespace choreo::core

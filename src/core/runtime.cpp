@@ -78,6 +78,9 @@ SessionRuntime::SessionRuntime(cloud::Cloud& cloud, std::vector<cloud::VmId> vms
   // every Choreo this runtime constructs measures through the agents.
   if (config_.agents.enabled) config_.choreo.agents = config_.agents;
   next_reeval_ = config_.choreo.reevaluate_period_s;
+  obs_arrivals_ = config_.choreo.obs.counter("session.arrivals");
+  obs_departures_ = config_.choreo.obs.counter("session.departures");
+  obs_batch_placed_ = config_.choreo.obs.counter("session.batch_placed");
 }
 
 AppOutcome& SessionRuntime::outcome_of(AppRecord& rec) {
@@ -91,9 +94,13 @@ std::uint64_t SessionRuntime::next_epoch() {
 }
 
 void SessionRuntime::measure() {
+  CHOREO_OBS_SPAN(span, config_.choreo.obs, "session.measure", "session");
   choreo_->measure_network(next_epoch());
   accumulate_measure(choreo_->last_measure());
   ++stats_.measure_cycles;
+  span.sim(now_, choreo_->last_measure().wall_time_s);
+  span.arg("pairs_probed",
+           static_cast<double>(choreo_->last_measure().pairs_probed));
 }
 
 void SessionRuntime::accumulate_measure(const Choreo::MeasureReport& report) {
@@ -288,6 +295,9 @@ bool SessionRuntime::try_place(AppRecord& rec) {
 
 bool SessionRuntime::try_place_batch(std::size_t count) {
   CHOREO_ASSERT(count >= 2 && count <= waiting_.size());
+  CHOREO_OBS_SPAN(span, config_.choreo.obs, "serve.batch", "serve");
+  span.sim(now_, 0.0);
+  span.arg("batch", static_cast<double>(count));
   std::vector<const place::Application*> apps;
   apps.reserve(count);
   for (std::size_t i = 0; i < count; ++i) apps.push_back(&waiting_[i].app);
@@ -309,14 +319,18 @@ bool SessionRuntime::try_place_batch(std::size_t count) {
         choreo_->adopt_placement(rec.app, plan.placements[i]);
     admit(std::move(rec), handle);
   }
+  CHOREO_OBS_ADD(obs_batch_placed_, config_.choreo.obs, count);
   return true;
 }
 
 void SessionRuntime::handle_arrival() {
   CHOREO_ASSERT_MSG(pending_, "arrival event without a pending application");
+  CHOREO_OBS_SPAN(span, config_.choreo.obs, "session.arrival", "session");
+  span.sim(now_, 0.0);
   AppRecord rec = std::move(*pending_);
   pending_.reset();
   ++stats_.arrivals;
+  CHOREO_OBS_INC(obs_arrivals_, config_.choreo.obs);
 
   SessionEvent arrival;
   arrival.time_s = now_;
@@ -403,6 +417,7 @@ void SessionRuntime::handle_departure() {
       emit(departure);
       choreo_->remove_application(it->handle);
       ++stats_.departures;
+      CHOREO_OBS_INC(obs_departures_, config_.choreo.obs);
       retire(it->rec);
       it = in_flight_.erase(it);
     } else {
@@ -415,7 +430,10 @@ void SessionRuntime::handle_departure() {
 
 void SessionRuntime::handle_reeval() {
   CHOREO_ASSERT_MSG(now_ + kTimeEps >= next_reeval_, "re-evaluation fired early");
+  CHOREO_OBS_SPAN(span, config_.choreo.obs, "session.reeval", "session");
   const Choreo::ReevalReport report = choreo_->reevaluate(next_epoch());
+  span.sim(now_, report.measurement.wall_time_s);
+  span.arg("tasks_migrated", static_cast<double>(report.tasks_migrated));
   ++log_.reevaluations;
   ++stats_.reevaluations;
   ++stats_.measure_cycles;

@@ -261,6 +261,13 @@ class SessionRuntime {
   bool started_ = false;
   bool finished_ = false;
   Stats stats_;
+
+  /// Session-plane registry handles (resolved from config.choreo.obs at
+  /// construction). Session spans additionally stamp sim-time via
+  /// SpanGuard::sim(now_, ...), so traces line up on the session clock.
+  obs::Counter obs_arrivals_;
+  obs::Counter obs_departures_;
+  obs::Counter obs_batch_placed_;
 };
 
 /// One tenant of a multi-tenant session: a name, a disjoint slice of the

@@ -336,6 +336,7 @@ bool ShardedSession::run_shard_pass(Shard& shard) {
 MultiTenantLog ShardedSession::run() {
   CHOREO_REQUIRE_MSG(!ran_, "run() may be called once");
   ran_ = true;
+  CHOREO_OBS_SPAN(run_span, opts_.obs, "sharded.run", "sharded");
 
   const std::size_t n = tenants_.size();
   const unsigned threads = std::max(1u, opts_.threads);
@@ -428,6 +429,20 @@ MultiTenantLog ShardedSession::run() {
   run_stats_.epoch_grants = static_cast<std::uint64_t>(n) + arbiter_->grants();
   run_stats_.shard_passes = passes.load();
   run_stats_.idle_waits = waits.load();
+
+  {
+    // epoch_grants is deterministic; occupancy and waits are not, so their
+    // names carry the `wall` exclusion token (see ShardedOptions::obs).
+    obs::Counter grants = opts_.obs.counter("sharded.epoch_grants");
+    obs::Counter shard_passes = opts_.obs.counter("sharded.wall_shard_passes");
+    obs::Counter idle_waits = opts_.obs.counter("sharded.wall_idle_waits");
+    CHOREO_OBS_ADD(grants, opts_.obs, run_stats_.epoch_grants);
+    CHOREO_OBS_ADD(shard_passes, opts_.obs, run_stats_.shard_passes);
+    CHOREO_OBS_ADD(idle_waits, opts_.obs, run_stats_.idle_waits);
+    run_span.arg("tenants", static_cast<double>(n));
+    run_span.arg("threads", static_cast<double>(threads));
+    run_span.arg("shards", static_cast<double>(shard_count));
+  }
 
   MultiTenantLog out;
   out.tenants.reserve(n);

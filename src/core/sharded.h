@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/runtime.h"
+#include "obs/observer.h"
 
 namespace choreo::core {
 
@@ -108,6 +109,13 @@ struct ShardedOptions {
   unsigned threads = 1;
   bool record_events = true;
   bool record_outcomes = true;
+  /// Scheduler-level observability: epoch grants, worker occupancy, and
+  /// arbiter waits land here. Occupancy/wait metrics describe one
+  /// particular execution (they vary with thread timing) so their names
+  /// carry the `wall` token — the marker determinism comparisons exclude.
+  /// Per-tenant plane metrics flow separately via each
+  /// TenantSpec.config.choreo.obs.
+  obs::Observer obs;
 };
 
 /// Multi-threaded drop-in for `MultiTenantSession`: the same tenants on

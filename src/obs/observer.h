@@ -1,0 +1,89 @@
+#pragma once
+
+// The plumbing half of the observability plane: a POD `Observer` handle
+// that configuration structs carry into every plane, plus the macro layer
+// instrumentation sites go through.
+//
+// Two off switches, by design:
+//   * runtime-off: a default Observer has null registry/tracer pointers —
+//     handles resolved from it are inert and every macro is a branch on a
+//     null pointer (bench/tbl_obs_overhead pins this path allocation-free
+//     and indistinguishable from baseline);
+//   * compile-time off: building with -DCHOREO_OBS_DISABLED (CMake option
+//     CHOREO_OBS_DISABLED) expands every macro to nothing, so the
+//     instrumented planes carry zero observability code at all.
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace choreo::obs {
+
+/// Passed by value through configuration structs. `shard` selects the
+/// registry shard counters accumulate into; `lane` is the tracer lane
+/// (rendered as the Chrome `tid`). Multi-tenant drivers hand each tenant
+/// `with_lane(tenant, tenant % registry->shards())` so per-tenant activity
+/// separates in the trace while counter totals stay mergeable.
+struct Observer {
+  Registry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  std::uint32_t shard = 0;
+  std::uint32_t lane = 0;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+
+  Observer with_lane(std::uint32_t lane_, std::uint32_t shard_) const {
+    Observer o = *this;
+    o.lane = lane_;
+    o.shard = shard_;
+    return o;
+  }
+
+  /// Handle resolution, null-safe: with no registry attached the returned
+  /// handles are inert no-ops.
+  Counter counter(const char* name) const {
+    return metrics ? metrics->counter(name) : Counter{};
+  }
+  Gauge gauge(const char* name) const {
+    return metrics ? metrics->gauge(name) : Gauge{};
+  }
+  Hist histogram(const char* name) const {
+    return metrics ? metrics->histogram(name) : Hist{};
+  }
+};
+
+}  // namespace choreo::obs
+
+// --- Instrumentation macros ------------------------------------------------
+//
+// CHOREO_OBS_SPAN(var, obs, "plane.op", "plane")  — RAII span `var`
+// CHOREO_OBS_ADD(counter, obs, delta)             — sharded counter add
+// CHOREO_OBS_INC(counter, obs)                    — add 1
+// CHOREO_OBS_SET(gauge, value)                    — gauge store
+// CHOREO_OBS_OBSERVE(hist, obs, value)            — histogram sample
+//
+// `var.arg(...)`/`var.sim(...)` compile against both SpanGuard and the
+// disabled path's NullSpan.
+
+// Macro parameters deliberately avoid the token `obs` — it would be
+// substituted into the `::choreo::obs::` qualification.
+#if defined(CHOREO_OBS_DISABLED)
+
+#define CHOREO_OBS_SPAN(var, obsv, name, cat) \
+  ::choreo::obs::NullSpan var {}
+#define CHOREO_OBS_ADD(counter, obsv, delta) ((void)0)
+#define CHOREO_OBS_INC(counter, obsv) ((void)0)
+#define CHOREO_OBS_SET(gauge, value) ((void)0)
+#define CHOREO_OBS_OBSERVE(hist, obsv, value) ((void)0)
+
+#else
+
+#define CHOREO_OBS_SPAN(var, obsv, name, cat) \
+  ::choreo::obs::SpanGuard var((obsv).tracer, (obsv).lane, (name), (cat))
+#define CHOREO_OBS_ADD(counter, obsv, delta) (counter).add((delta), (obsv).shard)
+#define CHOREO_OBS_INC(counter, obsv) (counter).inc((obsv).shard)
+#define CHOREO_OBS_SET(gauge, value) (gauge).set(value)
+#define CHOREO_OBS_OBSERVE(hist, obsv, value) (hist).observe((value), (obsv).shard)
+
+#endif

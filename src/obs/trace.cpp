@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace choreo::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : events_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::commit(const TraceEvent& ev) {
+  const std::size_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_[idx] = ev;
+}
+
+void Tracer::set_lane_name(std::uint32_t lane, const std::string& name) {
+  lane_names_.emplace_back(lane, name);
+}
+
+std::size_t Tracer::size() const {
+  return std::min(cursor_.load(std::memory_order_relaxed), events_.size());
+}
+
+std::string Tracer::to_json() const {
+  // Snapshot and order by wall start time. A stable sort keeps the claim
+  // order for identical stamps, so the document is reproducible for a given
+  // recording; sorting globally by ts makes ts monotone within every lane.
+  std::vector<TraceEvent> sorted(events_.begin(),
+                                 events_.begin() + static_cast<std::ptrdiff_t>(size()));
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::ostringstream out;
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"droppedEvents\": " << dropped()
+      << ",\n\"traceEvents\": [\n";
+  bool first = true;
+  out << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": \"choreo\"}}";
+  first = false;
+  for (const auto& [lane, name] : lane_names_) {
+    out << ",\n {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+        << lane << ", \"args\": {\"name\": " << util::json_quote(name) << "}}";
+  }
+  for (const TraceEvent& ev : sorted) {
+    out << (first ? "" : ",\n") << " {\"name\": " << util::json_quote(ev.name)
+        << ", \"cat\": " << util::json_quote(ev.cat)
+        << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << ev.lane
+        << ", \"ts\": " << util::json_number(ev.ts_us)
+        << ", \"dur\": " << util::json_number(ev.dur_us) << ", \"args\": {";
+    bool first_arg = true;
+    if (ev.sim_ts_s >= 0.0) {
+      out << "\"sim_ts_s\": " << util::json_number(ev.sim_ts_s)
+          << ", \"sim_dur_s\": " << util::json_number(ev.sim_dur_s);
+      first_arg = false;
+    }
+    for (std::uint32_t i = 0; i < ev.n_args; ++i) {
+      out << (first_arg ? "" : ", ") << util::json_quote(ev.arg_keys[i]) << ": "
+          << util::json_number(ev.arg_vals[i]);
+      first_arg = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << "\n]\n}\n";
+  return out.str();
+}
+
+void Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  out << to_json();
+  std::cout << "wrote " << path << " (" << size() << " spans, " << dropped()
+            << " dropped)\n";
+}
+
+}  // namespace choreo::obs

@@ -1,0 +1,125 @@
+#pragma once
+
+// Tracing half of the observability plane: a Tracer collecting complete
+// ("ph":"X") spans into a preallocated ring and emitting Chrome trace-event
+// JSON — loadable in chrome://tracing or https://ui.perfetto.dev (open the
+// file directly; docs/ARCHITECTURE.md has the span-naming conventions).
+//
+// Spans are stamped in both wall-time (microseconds since the Tracer was
+// constructed — the Chrome `ts`/`dur` fields) and, where the caller runs
+// under a simulation clock, sim-time (seconds, attached as `sim_ts_s` /
+// `sim_dur_s` args). The sink is lossless until capacity: the first
+// `capacity` spans are all kept, later ones are dropped and counted —
+// never silently.
+//
+// Hot-path cost: one relaxed fetch_add to claim a slot plus a POD store.
+// Recording never allocates (names/categories must be string literals or
+// otherwise outlive the tracer).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace choreo::obs {
+
+/// One complete span. POD so ring slots are assignable without allocation;
+/// name/cat/arg keys must point at storage outliving the tracer (string
+/// literals at every call site in this repo).
+struct TraceEvent {
+  static constexpr int kMaxArgs = 4;
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  double ts_us = 0.0;   ///< wall-clock start, us since tracer construction
+  double dur_us = 0.0;  ///< wall-clock duration
+  double sim_ts_s = -1.0;  ///< sim-time start; < 0 means "no sim clock here"
+  double sim_dur_s = 0.0;
+  std::uint32_t lane = 0;  ///< rendered as the Chrome `tid`
+  std::uint32_t n_args = 0;
+  const char* arg_keys[kMaxArgs] = {};
+  double arg_vals[kMaxArgs] = {};
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  /// Wall-clock microseconds since construction (the span timebase).
+  double now_us() const;
+
+  /// Stores one finished span; thread-safe, allocation-free. Spans beyond
+  /// capacity are dropped and counted.
+  void commit(const TraceEvent& ev);
+
+  /// Names a lane for the trace viewer (emitted as a thread_name metadata
+  /// event). Cold path; takes a lock.
+  void set_lane_name(std::uint32_t lane, const std::string& name);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace-event JSON. Spans are sorted by wall ts, which makes `ts`
+  /// monotone within every lane — the property check_bench_json.py gates.
+  /// Call after recording threads have quiesced.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::pair<std::uint32_t, std::string>> lane_names_;
+};
+
+/// RAII span: construction stamps the wall start, destruction stamps the
+/// duration and commits. A null tracer makes every method a no-op — that is
+/// the runtime-off branch, and it performs no clock reads either.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, std::uint32_t lane, const char* name, const char* cat)
+      : tracer_(tracer) {
+    if (!tracer_) return;
+    ev_.name = name;
+    ev_.cat = cat;
+    ev_.lane = lane;
+    ev_.ts_us = tracer_->now_us();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+    if (!tracer_) return;
+    ev_.dur_us = tracer_->now_us() - ev_.ts_us;
+    tracer_->commit(ev_);
+  }
+
+  /// Attaches a numeric argument (first kMaxArgs stick; extras are dropped).
+  void arg(const char* key, double value) {
+    if (!tracer_ || ev_.n_args >= TraceEvent::kMaxArgs) return;
+    ev_.arg_keys[ev_.n_args] = key;
+    ev_.arg_vals[ev_.n_args] = value;
+    ++ev_.n_args;
+  }
+
+  /// Stamps the span in sim-time as well (start + duration, seconds).
+  void sim(double start_s, double dur_s) {
+    if (!tracer_) return;
+    ev_.sim_ts_s = start_s;
+    ev_.sim_dur_s = dur_s;
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent ev_;
+};
+
+/// The compile-time no-op stand-in for SpanGuard when the obs plane is
+/// compiled out (CHOREO_OBS_DISABLED); same surface, zero code.
+struct NullSpan {
+  void arg(const char*, double) const {}
+  void sim(double, double) const {}
+};
+
+}  // namespace choreo::obs

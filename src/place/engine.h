@@ -53,6 +53,17 @@ class PlacementEngine {
   const ClusterView& view() const { return view_; }
   std::size_t machine_count() const { return view_.machine_count(); }
 
+  /// Always-on lightweight instrumentation: plain integers (the engine is
+  /// single-threaded by contract), incremented on the hot paths and scraped
+  /// into the obs registry by callers (Choreo, PlacementService) as deltas.
+  /// Cloned engines carry their parent's totals; scrape deltas, not values.
+  struct Counters {
+    std::uint64_t txn_ops = 0;            ///< tentative apply_task/apply_transfer
+    std::uint64_t candidates_walked = 0;  ///< best-first candidates evaluated
+    std::uint64_t placements = 0;         ///< greedy place() searches run
+  };
+  Counters& counters() const { return counters_; }
+
   // ---- Residual reads (all O(1)) ----
 
   double free_cores(std::size_t m) const { return view_.cores[m] - used_cores_[m]; }
@@ -172,6 +183,7 @@ class PlacementEngine {
     void apply_task(std::size_t m, double cores) {
       engine_->used_cores_[m] += cores;
       engine_->txn_log_.push_back(Op{m, 0, cores, Op::kTask});
+      ++engine_->counters_.txn_ops;
     }
     /// Tentatively registers one transfer m->n (no-op when m == n, exactly
     /// like the committed bookkeeping).
@@ -179,6 +191,7 @@ class PlacementEngine {
       if (m == n) return;
       engine_->register_transfer(m, n, +1.0);
       engine_->txn_log_.push_back(Op{m, n, 0.0, Op::kTransfer});
+      ++engine_->counters_.txn_ops;
     }
     /// Undoes everything applied since construction, LIFO.
     void rollback() {
@@ -233,6 +246,8 @@ class PlacementEngine {
   std::vector<double> out_of_;
 
   std::vector<Op> txn_log_;
+
+  mutable Counters counters_;
 };
 
 }  // namespace choreo::place

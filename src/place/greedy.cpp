@@ -57,6 +57,7 @@ Placement GreedyPlacer::place(const Application& app, const ClusterState& state)
   // All tentative decisions live in one engine transaction, rolled back
   // (also on the exception path) before returning: the caller commits.
   PlacementEngine::Txn txn(eng);
+  ++eng.counters().placements;
 
   const auto cpu_fits = [&](std::size_t task, std::size_t machine, double extra = 0.0) {
     return eng.cpu_fits(machine, app.cpu_demand[task] + extra);
@@ -88,6 +89,7 @@ Placement GreedyPlacer::place(const Application& app, const ClusterState& state)
     // 3-14), identical rule-for-rule to the exhaustive scan's `consider`.
     BestCandidate best;
     const auto consider = [&](std::size_t m, std::size_t n) {
+      ++eng.counters().candidates_walked;
       // CPU feasibility (lines 9-11).
       if (mi == kUnplaced && mj == kUnplaced && m == n) {
         if (!cpu_fits(i, m, app.cpu_demand[j])) return;

@@ -15,6 +15,7 @@ PlacementService::PlacementService(place::ClusterState state, place::RateModel m
 
 PlacementService::Result PlacementService::place(const place::Application& app,
                                                  Scratch& scratch) const {
+  CHOREO_OBS_SPAN(span, scratch.obs_, "serve.place", "serve");
   const std::shared_ptr<const ClusterSnapshot> snap = snapshot();
   if (scratch.base_ != snap) {
     // The epoch moved (or this arena is fresh): rebuild it from the new
@@ -24,18 +25,32 @@ PlacementService::Result PlacementService::place(const place::Application& app,
     scratch.state_.emplace(snap->state.clone());
     scratch.base_ = snap;
     ++scratch.refreshes_;
+    CHOREO_OBS_INC(scratch.refreshes_ctr_, scratch.obs_);
   }
+  CHOREO_OBS_INC(scratch.queries_, scratch.obs_);
   place::GreedyPlacer greedy(model_);
   Result out;
   out.placement = greedy.place(app, *scratch.state_);
   out.epoch = snap->epoch;
+  span.arg("epoch", static_cast<double>(snap->epoch));
+  span.arg("tasks", static_cast<double>(app.task_count()));
   return out;
+}
+
+void PlacementService::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  publishes_ = o.counter("serve.publishes");
+  epoch_gauge_ = o.gauge("serve.epoch");
+  CHOREO_OBS_SET(epoch_gauge_, static_cast<double>(epoch()));
 }
 
 void PlacementService::swap_in(place::ClusterState next) {
   const std::shared_ptr<const ClusterSnapshot> cur = snapshot();
-  snap_.store(std::make_shared<const ClusterSnapshot>(cur->epoch + 1, std::move(next)),
+  const std::uint64_t next_epoch = cur->epoch + 1;
+  snap_.store(std::make_shared<const ClusterSnapshot>(next_epoch, std::move(next)),
               std::memory_order_release);
+  CHOREO_OBS_INC(publishes_, obs_);
+  CHOREO_OBS_SET(epoch_gauge_, static_cast<double>(next_epoch));
 }
 
 void PlacementService::publish_view(place::ClusterView view) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/observer.h"
 #include "place/cluster.h"
 #include "place/greedy.h"
 
@@ -43,12 +44,24 @@ class Scratch {
   /// Arena rebuilds performed (first use plus one per epoch change seen).
   std::uint64_t refreshes() const { return refreshes_; }
 
+  /// Attaches the observability plane to this arena's queries: each worker
+  /// thread hands its Scratch `obs.with_lane(worker, shard)` so per-query
+  /// spans separate by lane and counter adds stay contention-free per shard.
+  void set_observer(const obs::Observer& o) {
+    obs_ = o;
+    queries_ = o.counter("serve.queries");
+    refreshes_ctr_ = o.counter("serve.scratch_refreshes");
+  }
+
  private:
   friend class PlacementService;
 
   std::shared_ptr<const ClusterSnapshot> base_;
   std::optional<place::ClusterState> state_;
   std::uint64_t refreshes_ = 0;
+  obs::Observer obs_;
+  obs::Counter queries_;
+  obs::Counter refreshes_ctr_;
 };
 
 /// The placement serving front end: answers "place this app now" queries at
@@ -115,11 +128,19 @@ class PlacementService {
   /// Publishes the snapshot with a previously committed app released.
   void release(const place::Application& app, const place::Placement& placement);
 
+  /// Attaches the observability plane to the writer path: publish counts
+  /// and the current epoch gauge. Writer-serialized like the publish
+  /// methods themselves.
+  void set_observer(const obs::Observer& o);
+
  private:
   void swap_in(place::ClusterState next);
 
   place::RateModel model_;
   std::atomic<std::shared_ptr<const ClusterSnapshot>> snap_;
+  obs::Observer obs_;
+  obs::Counter publishes_;
+  obs::Gauge epoch_gauge_;
 };
 
 }  // namespace choreo::serve

@@ -27,13 +27,25 @@ void Args::parse(int argc, const char* const* argv) {
       positional_.push_back(token);
       continue;
     }
-    const std::string name = token.substr(2);
+    std::string name = token.substr(2);
+    // Both `--name value` and `--name=value` spellings are accepted.
+    std::string inline_value;
+    bool has_inline = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
     const auto it = specs_.find(name);
     CHOREO_REQUIRE_MSG(it != specs_.end(), "unknown option --" << name);
     if (it->second.is_flag) {
+      CHOREO_REQUIRE_MSG(!has_inline, "flag --" << name << " takes no value");
       // Move-assign: GCC 12's -O3 -Wrestrict false-positives on the
       // operator=(const char*) overload here.
       values_[name] = std::string("1");
+    } else if (has_inline) {
+      values_[name] = std::move(inline_value);
     } else {
       CHOREO_REQUIRE_MSG(i + 1 < argc, "option --" << name << " needs a value");
       values_[name] = std::string(argv[++i]);

@@ -1,0 +1,59 @@
+#pragma once
+
+// Minimal JSON serialization helpers shared by every surface that emits
+// JSON documents (bench/bench_common.h's BenchJson, the obs plane's
+// MetricsSnapshot dump and Chrome trace writer). One set of escaping rules
+// means one strict parser covers all of them.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+namespace choreo::util {
+
+/// Escapes and quotes a string per RFC 8259: the two mandatory escapes
+/// (quote, backslash), shorthand escapes for the common control characters,
+/// and \u00XX for the rest — no other byte is altered.
+inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          // Remaining control characters have no shorthand escape; JSON
+          // requires the \u00XX form.
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xF];
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// Serializes a double as a JSON number. JSON has no inf/nan literals;
+/// emitting them bare ("inf") makes the whole document unparseable. null is
+/// the standard stand-in — and the check_bench_json.py gate treats a null
+/// metric as the regression it is.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+}  // namespace choreo::util

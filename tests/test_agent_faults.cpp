@@ -357,7 +357,10 @@ TEST(HostAgentCrash, PreCrashInFlightReportsNeverResurrect) {
   // The stale-generation guard's precondition: the pre-crash report is never
   // retransmitted by the new incarnation.
   EXPECT_EQ(host.stats().retransmits, 0u);
-  EXPECT_EQ(host.stats().reports_sent, 1u);
+  // Per-incarnation counters die with the incarnation: the pre-crash send is
+  // gone from stats() (it went to the crash sink — see StatsConservation
+  // below), and the fresh incarnation has sent nothing yet.
+  EXPECT_EQ(host.stats().reports_sent, 0u);
 
   // Post-crash traffic is exclusively generation-1 Hellos.
   for (const auto& d : t.receive(0, 100)) {
@@ -413,6 +416,82 @@ TEST(AgentFaults, CrashRestartResyncReprobesTheAgentsRow) {
   EXPECT_GE(resync.pairs_planned, quiet.pairs_planned);
   EXPECT_GE(plane.stats().restarts, 1u);
   EXPECT_GE(plane.stats().cluster.resyncs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// crash-stats conservation: a crash wipes the incarnation's counters, but
+// the plane's durable accounting (fed by the crash sink) must never lose
+// pre-crash activity — tbl_agents' wire accounting depends on it.
+
+TEST(StatsConservation, CrashSinkReceivesTheDyingIncarnationsCounters) {
+  AgentOptions opts;
+  opts.retry_timeout_cycles = 1;
+  opts.down_cycles = 2;
+  SimTransport t(3, {});
+  HostAgent host(1, opts, [](std::uint32_t, std::uint32_t, std::uint32_t,
+                             std::uint64_t) { return 1.0; });
+  HostAgent::Stats sunk;
+  std::size_t sink_calls = 0;
+  host.set_crash_sink([&](const HostAgent::Stats& s) {
+    sunk = s;
+    ++sink_calls;
+  });
+
+  proto::Message req;
+  req.type = proto::MsgType::kProbeRequest;
+  req.probe_request.agent = 1;
+  req.probe_request.epoch = 1;
+  req.probe_request.probes = {{1, 0, 0}, {1, 2, 0}};
+  host.deliver(req, 1);
+  host.tick(1, t);
+  ASSERT_EQ(host.stats().reports_sent, 1u);
+  ASSERT_EQ(host.stats().probes_run, 2u);
+
+  host.crash(2);
+  ASSERT_EQ(sink_calls, 1u);
+  // The sink saw the dying incarnation's counters exactly as they were...
+  EXPECT_EQ(sunk.reports_sent, 1u);
+  EXPECT_EQ(sunk.probes_run, 2u);
+  EXPECT_EQ(sunk.crashes, 0u);  // this crash is charged to the successor
+  // ...and the live struct restarted from zero, plus the crash itself.
+  EXPECT_EQ(host.stats().reports_sent, 0u);
+  EXPECT_EQ(host.stats().probes_run, 0u);
+  EXPECT_EQ(host.stats().crashes, 1u);
+}
+
+TEST(StatsConservation, PlaneTotalsAreMonotoneAndConservedAcrossCrashes) {
+  cloud::Cloud cloud(cloud::ec2_2013(), 11);
+  const auto vms = cloud.allocate_vms(6);
+  core::ChoreoConfig config = cheap_config();
+  AgentOptions opts = faulty_options(11);
+  AgentPlane plane(cloud, vms, config.plan, config.refresh, config.forecast, opts);
+
+  AgentPlane::Stats prev;
+  for (std::uint64_t cycle = 1; cycle <= 20; ++cycle) {
+    // Deterministic mid-run crashes on top of the seeded random ones — the
+    // exact case whose pre-crash sends used to vanish from the totals.
+    if (cycle == 5) plane.crash_agent(2);
+    if (cycle == 11) plane.crash_agent(4);
+    plane.run_cycle(cycle);
+
+    const AgentPlane::Stats s = plane.stats();
+    SCOPED_TRACE("cycle=" + std::to_string(cycle));
+    EXPECT_GE(s.probes_run, prev.probes_run);
+    EXPECT_GE(s.reports_sent, prev.reports_sent);
+    EXPECT_GE(s.retransmits, prev.retransmits);
+    EXPECT_GE(s.crashes, prev.crashes);
+    EXPECT_GE(s.restarts, prev.restarts);
+    EXPECT_GE(s.transport.bytes_sent, prev.transport.bytes_sent);
+    prev = s;
+  }
+
+  ASSERT_GE(prev.crashes, 2u);  // the injected crashes actually happened
+  // Conservation: every sample the cluster agent ever saw was produced by a
+  // probe some incarnation ran — crashes may lose samples (queued ones die
+  // with the process) but must never lose the record of having probed.
+  EXPECT_LE(prev.cluster.samples_integrated + prev.cluster.samples_superseded,
+            prev.probes_run);
+  EXPECT_GT(prev.reports_sent, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// The compile-time off switch: this TU is built with -DCHOREO_OBS_DISABLED
+// (see tests/CMakeLists.txt), so every CHOREO_OBS_* macro here expands to
+// nothing. Even with a live registry and tracer attached to the observer,
+// macro sites must record nothing and allocate nothing — the disabled path
+// is free by construction, not by branch prediction.
+
+#ifndef CHOREO_OBS_DISABLED
+#error "test_obs_disabled.cpp must be compiled with CHOREO_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/observer.h"
+
+// Counting operator-new interposition (micro_flowsim's pattern): the pin is
+// a zero *delta* across the macro-site window, not a global prohibition.
+namespace {
+std::size_t g_alloc_count = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace choreo::obs {
+namespace {
+
+/// The instrumented hot loop with every macro kind, against a LIVE observer.
+std::uint64_t macro_sites(const Observer& obsv, const Counter& ctr, const Gauge& g,
+                          const Hist& hist, std::size_t iters) {
+  (void)obsv;
+  (void)ctr;
+  (void)g;
+  (void)hist;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    CHOREO_OBS_SPAN(span, obsv, "bench.op", "bench");
+    CHOREO_OBS_ADD(ctr, obsv, i + 1);
+    CHOREO_OBS_INC(ctr, obsv);
+    CHOREO_OBS_SET(g, static_cast<double>(i));
+    CHOREO_OBS_OBSERVE(hist, obsv, static_cast<double>(i + 1));
+    span.arg("i", static_cast<double>(i));
+    span.sim(static_cast<double>(i), 1.0);
+    acc += i;
+  }
+  return acc;
+}
+
+TEST(ObsDisabled, MacroSitesRecordNothingEvenWithALiveObserver) {
+  Registry registry(1);
+  Tracer tracer(256);
+  Observer obsv;
+  obsv.metrics = &registry;
+  obsv.tracer = &tracer;
+  const Counter ctr = registry.counter("bench.ops");
+  const Gauge g = registry.gauge("bench.level");
+  const Hist hist = registry.histogram("bench.sample");
+
+  const std::uint64_t acc = macro_sites(obsv, ctr, g, hist, 1000);
+  EXPECT_EQ(acc, 999u * 1000u / 2u);  // the real work still happened
+
+  // ...but none of it was observed: the macros expanded to nothing.
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto* c = snap.find_counter("bench.ops");
+  ASSERT_NE(c, nullptr);  // registration is explicit, not via macros
+  EXPECT_EQ(c->value, 0u);
+  const auto* h = snap.find_hist("bench.sample");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+}
+
+TEST(ObsDisabled, MacroSitesAllocateNothing) {
+  Registry registry(1);
+  Tracer tracer(256);
+  Observer obsv;
+  obsv.metrics = &registry;
+  obsv.tracer = &tracer;
+  const Counter ctr = registry.counter("bench.ops");
+  const Gauge g = registry.gauge("bench.level");
+  const Hist hist = registry.histogram("bench.sample");
+
+  macro_sites(obsv, ctr, g, hist, 10);  // warm-up
+  const std::size_t before = g_alloc_count;
+  const std::uint64_t acc = macro_sites(obsv, ctr, g, hist, 100000);
+  const std::size_t delta = g_alloc_count - before;
+  EXPECT_GT(acc, 0u);
+  EXPECT_EQ(delta, 0u);
+}
+
+}  // namespace
+}  // namespace choreo::obs
